@@ -1,0 +1,111 @@
+//! Criterion benches mirroring the paper's evaluation artifacts.
+//!
+//! Each measured function regenerates one *row/point* of a table or figure:
+//!
+//! * `table2/<bench>` — baseline (sequential) compile + simulate.
+//! * `table3/<bench>/N` — RAWCC compile + simulate at N tiles.
+//! * `fig8/<variant>` — fpppp-kernel under base / inf-reg / 1-cycle machines.
+//!
+//! Criterion tracks host wall time (useful for regression tracking of the
+//! compiler and simulator themselves); the *simulated* cycle counts — the
+//! paper's actual metric — are printed once per target and collected by
+//! `raw-bench`/`EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raw_bench::{measure, measure_baseline, MachineVariant};
+use rawcc::CompilerOptions;
+
+fn scaled_suite() -> Vec<raw_benchmarks::Benchmark> {
+    // Criterion runs each target many times; use reduced shapes.
+    vec![
+        raw_benchmarks::life(12, 1),
+        raw_benchmarks::vpenta(12),
+        raw_benchmarks::cholesky(1, 8),
+        raw_benchmarks::tomcatv(12, 1),
+        raw_benchmarks::fpppp_kernel(raw_benchmarks::FppppShape {
+            inputs: 16,
+            intermediates: 40,
+            outputs: 10,
+            seed: 5,
+        }),
+        raw_benchmarks::mxm(8, 16, 4),
+        raw_benchmarks::jacobi(12, 1),
+    ]
+}
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_baseline");
+    group.sample_size(10);
+    for bench in scaled_suite() {
+        let program = bench.baseline_program().unwrap();
+        let cycles = measure_baseline(&program);
+        eprintln!("table2: {} seq cycles = {cycles}", bench.name);
+        group.bench_function(bench.name, |b| {
+            b.iter(|| measure_baseline(&program));
+        });
+    }
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    let options = CompilerOptions::default();
+    let mut group = c.benchmark_group("table3_rawcc");
+    group.sample_size(10);
+    for bench in scaled_suite() {
+        for n in [2u32, 8] {
+            let program = bench.program(n).unwrap();
+            let config = MachineVariant::Base.config(n);
+            let m = measure(&program, &config, &options);
+            eprintln!("table3: {} @{n} = {} cycles", bench.name, m.cycles);
+            group.bench_with_input(
+                BenchmarkId::new(bench.name, n),
+                &(program, config),
+                |b, (program, config)| {
+                    b.iter(|| measure(program, config, &options));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let options = CompilerOptions::default();
+    let bench = raw_benchmarks::fpppp_kernel(raw_benchmarks::FppppShape {
+        inputs: 16,
+        intermediates: 40,
+        outputs: 10,
+        seed: 5,
+    });
+    let mut group = c.benchmark_group("fig8_fpppp");
+    group.sample_size(10);
+    for variant in [
+        MachineVariant::Base,
+        MachineVariant::InfReg,
+        MachineVariant::OneCycle,
+    ] {
+        let program = bench.program(8).unwrap();
+        let config = variant.config(8);
+        let m = measure(&program, &config, &options);
+        eprintln!("fig8: {} = {} cycles", variant.name(), m.cycles);
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| measure(&program, &config, &options));
+        });
+    }
+    group.finish();
+}
+
+fn compile_only(c: &mut Criterion) {
+    // Compiler throughput on the largest-block benchmark (cholesky peels into
+    // one straight-line region) — tracks orchestrater scalability.
+    let bench = raw_benchmarks::cholesky(1, 10);
+    let program = bench.program(8).unwrap();
+    let config = MachineVariant::Base.config(8);
+    let options = CompilerOptions::default();
+    c.bench_function("compile/cholesky@8", |b| {
+        b.iter(|| rawcc::compile(&program, &config, &options).unwrap());
+    });
+}
+
+criterion_group!(benches, table2, table3, fig8, compile_only);
+criterion_main!(benches);

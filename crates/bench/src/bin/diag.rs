@@ -1,0 +1,100 @@
+//! `diag` — compiler/simulator diagnostics for one benchmark run.
+//!
+//! Prints cycle counts, stall breakdowns, network traffic, and the largest
+//! compiled blocks: the first tool to reach for when a speedup looks wrong.
+//!
+//! ```text
+//! cargo run --release -p raw-bench --bin diag -- <benchmark> [n_tiles]
+//! ```
+
+use raw_machine::MachineConfig;
+use rawcc::{compile, CompilerOptions};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mxm".into());
+    let n: u32 = match std::env::args().nth(2).unwrap_or_else(|| "16".into()).parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("usage: diag <benchmark> [n_tiles]   (n_tiles must be an integer)");
+            std::process::exit(2);
+        }
+    };
+    if !n.is_power_of_two() {
+        eprintln!("n_tiles must be a power of two");
+        std::process::exit(2);
+    }
+    let Some(bench) = raw_benchmarks::by_name(&name) else {
+        let names: Vec<&str> = raw_benchmarks::suite().iter().map(|b| b.name).collect();
+        eprintln!("unknown benchmark '{name}'; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    let program = bench.program(n).unwrap();
+    let config = MachineConfig::square(n);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    let mut machine = compiled.instantiate(&program);
+    let report = match machine.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}\n{}", machine.dump_state());
+            std::process::exit(1);
+        }
+    };
+    let stats = machine.stats();
+
+    println!("== {name} @ {n} tiles: {} cycles ==", report.cycles);
+    println!(
+        "blocks: {}  max block nodes: {}  spills: {}",
+        compiled.report.blocks.len(),
+        compiled.report.max_block_nodes(),
+        compiled.report.total_spills()
+    );
+    let mut tot = raw_machine::stats::TileStats::default();
+    for t in &stats.tiles {
+        tot.proc_insts += t.proc_insts;
+        tot.stall_reg += t.stall_reg;
+        tot.stall_port_in += t.stall_port_in;
+        tot.stall_port_out += t.stall_port_out;
+        tot.stall_dynamic += t.stall_dynamic;
+        tot.switch_routes += t.switch_routes;
+        tot.switch_stalls += t.switch_stalls;
+    }
+    let tile_cycles = (report.cycles * n as u64).max(1);
+    let pct = |v: u64| 100.0 * v as f64 / tile_cycles as f64;
+    println!(
+        "proc insts:    {:>10}  ({:.1}% of tile-cycles)",
+        tot.proc_insts,
+        pct(tot.proc_insts)
+    );
+    println!("stall reg:     {:>10}  ({:.1}%)", tot.stall_reg, pct(tot.stall_reg));
+    println!(
+        "stall port-in: {:>10}  ({:.1}%)",
+        tot.stall_port_in,
+        pct(tot.stall_port_in)
+    );
+    println!(
+        "stall port-out:{:>10}  ({:.1}%)",
+        tot.stall_port_out,
+        pct(tot.stall_port_out)
+    );
+    println!(
+        "stall dynamic: {:>10}  ({:.1}%)",
+        tot.stall_dynamic,
+        pct(tot.stall_dynamic)
+    );
+    println!(
+        "switch routes: {:>10}  (stall cycles: {})",
+        tot.switch_routes, tot.switch_stalls
+    );
+    println!("static words:  {:>10}", stats.static_words);
+    println!("dyn-net active:{:>10} cycles", stats.dyn_active_cycles);
+
+    let mut blocks: Vec<_> = compiled.report.blocks.iter().enumerate().collect();
+    blocks.sort_by_key(|(_, b)| std::cmp::Reverse(b.n_nodes));
+    println!("largest blocks:");
+    for (i, b) in blocks.iter().take(5) {
+        println!(
+            "  block {i}: nodes={} clusters={} comm-paths={} est-makespan={} spills={}",
+            b.n_nodes, b.n_clusters, b.n_comm_paths, b.makespan, b.spills
+        );
+    }
+}

@@ -1,0 +1,17 @@
+fn main() {
+    use raw_bench::{measure, measure_baseline, MachineVariant};
+    for (ints, outs) in [(90usize, 30usize), (200, 60), (400, 80)] {
+        let bench = raw_benchmarks::fpppp_kernel(raw_benchmarks::FppppShape {
+            inputs: 40, intermediates: ints, outputs: outs, seed: 0x0f99_9921,
+        });
+        let base = bench.baseline_program().unwrap();
+        let seq = measure_baseline(&base);
+        print!("ints={ints}: seq={seq}");
+        for n in [8u32, 16, 32] {
+            let p = bench.program(n).unwrap();
+            let m = measure(&p, &MachineVariant::Base.config(n), &Default::default());
+            print!("  @{n}={:.1}x", seq as f64 / m.cycles as f64);
+        }
+        println!();
+    }
+}

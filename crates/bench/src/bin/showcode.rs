@@ -1,0 +1,59 @@
+//! `showcode` — dump the compiled per-tile instruction streams for a
+//! benchmark, in execution form (processor and switch code side by side).
+//!
+//! ```text
+//! cargo run --release -p raw-bench --bin showcode -- <benchmark> [n_tiles] [max_insts]
+//! ```
+
+use raw_machine::MachineConfig;
+use rawcc::{compile, CompilerOptions};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "jacobi".into());
+    let n: u32 = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "4".into())
+        .parse()
+        .expect("n_tiles must be an integer");
+    let max: usize = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "60".into())
+        .parse()
+        .expect("max_insts must be an integer");
+
+    let Some(bench) = raw_benchmarks::by_name(&name) else {
+        let names: Vec<&str> = raw_benchmarks::suite().iter().map(|b| b.name).collect();
+        eprintln!("unknown benchmark '{name}'; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    let program = bench.program(n).unwrap();
+    let config = MachineConfig::square(n);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+
+    for (t, tile) in compiled.machine_program.tiles.iter().enumerate() {
+        println!(
+            "=== tile{t} processor ({} instructions{}) ===",
+            tile.proc.len(),
+            if tile.proc.len() > max {
+                format!(", first {max}")
+            } else {
+                String::new()
+            }
+        );
+        for (i, inst) in tile.proc.iter().take(max).enumerate() {
+            println!("{i:5}: {inst}");
+        }
+        println!(
+            "=== tile{t} switch ({} instructions{}) ===",
+            tile.switch.len(),
+            if tile.switch.len() > max {
+                format!(", first {max}")
+            } else {
+                String::new()
+            }
+        );
+        for (i, inst) in tile.switch.iter().take(max).enumerate() {
+            println!("{i:5}: {inst}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! `raw-bench` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! raw-bench --all                # every experiment at paper sizes
+//! raw-bench --table2 --table3    # selected experiments
+//! raw-bench --table3 --sizes 1,2,4,8
+//! raw-bench --quick              # tiny suite (CI-friendly)
+//! raw-bench --bench mxm --table3 # restrict to one benchmark
+//! ```
+
+use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+raw-bench — regenerate the tables and figures of
+'Space-Time Scheduling of Instruction-Level Parallelism on a Raw Machine'
+
+USAGE:
+    raw-bench [FLAGS]
+
+FLAGS:
+    --table1        operation latencies (Table 1)
+    --fig4          neighbour message latency (Figure 4)
+    --table2        benchmark characteristics (Table 2)
+    --table3        speedups across machine sizes (Table 3)
+    --fig8          fpppp-kernel machine variants (Figure 8)
+    --ablations     compiler-feature ablations
+    --all           everything above
+    --quick         use the scaled-down suite (fast)
+    --sizes A,B,..  machine sizes for table3/fig8 (default 1,2,4,8,16,32)
+    --bench NAME    restrict table2/table3/ablations to one benchmark
+    --help          this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let all = has("--all");
+    let quick = has("--quick");
+
+    let mut sizes: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
+    if let Some(pos) = args.iter().position(|a| a == "--sizes") {
+        match args.get(pos + 1) {
+            Some(list) => {
+                sizes = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<u32>().expect("size must be an integer"))
+                    .collect();
+            }
+            None => {
+                eprintln!("--sizes requires an argument, e.g. --sizes 1,2,4");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(&bad) = sizes.iter().find(|n| !n.is_power_of_two()) {
+        eprintln!(
+            "machine size {bad} is not a power of two (low-order interleaving \
+             requires 2^k tiles); valid sizes: 1,2,4,8,16,32,…"
+        );
+        return ExitCode::FAILURE;
+    }
+    if quick {
+        sizes.retain(|&n| n <= 4);
+        if sizes.is_empty() {
+            sizes = vec![1, 2, 4];
+        }
+    }
+
+    let mut suite = if quick {
+        raw_benchmarks::tiny_suite()
+    } else {
+        raw_benchmarks::suite()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        let name = args.get(pos + 1).cloned().unwrap_or_default();
+        suite.retain(|b| b.name == name);
+        if suite.is_empty() {
+            eprintln!("unknown benchmark '{name}'");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if all || has("--table1") {
+        println!("{}", table1_text());
+    }
+    if all || has("--fig4") {
+        println!("{}", figure4_text());
+    }
+    if all || has("--table2") {
+        println!("{}", table2_text(&suite));
+    }
+    if all || has("--table3") {
+        println!("{}", table3_text(&suite, &sizes));
+    }
+    if all || has("--fig8") {
+        let fpppp = suite
+            .iter()
+            .find(|b| b.name == "fpppp-kernel")
+            .cloned()
+            .unwrap_or_else(|| raw_benchmarks::fpppp_kernel(Default::default()));
+        println!("{}", figure8_text(&fpppp, &sizes));
+    }
+    if all || has("--ablations") {
+        println!("{}", ablation_text(&suite, &sizes));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,660 @@
+//! Instruction selection: scheduled block ops → tile processor instructions
+//! over *virtual* registers (physical registers are assigned afterwards by
+//! [`regalloc`](crate::regalloc)).
+//!
+//! Address arithmetic for interleaved arrays follows paper Figure 7. For a
+//! static reference with residue `r` (so the index `i` satisfies
+//! `i ≡ r (mod N)`), the element's local word address on its home tile is
+//! `base + i / N = base + (i >> log2 N)` — one shift. For a dynamic reference
+//! the interleaved global address is `base · N + i` — one add against a
+//! compile-time constant, then a dynamic-network access.
+
+use crate::layout::{ArrayClass, DataLayout};
+use crate::schedule::{BlockSchedule, TileOp};
+use crate::taskgraph::TaskGraph;
+use raw_ir::{Imm, InstKind, UnOp, ValueId};
+use raw_machine::isa::{AluOp, Dst, PInst, Src};
+use raw_machine::TileId;
+use std::collections::HashMap;
+
+/// One tile's code for one block, over virtual registers.
+#[derive(Clone, Debug, Default)]
+pub struct TileBlockCode {
+    /// Straight-line instructions (register numbers are virtual).
+    pub insts: Vec<PInst>,
+    /// Virtual register holding the branch condition, when this tile is the
+    /// condition producer (kept live through the terminator).
+    pub cond_vreg: Option<u16>,
+    /// Number of virtual registers used.
+    pub n_vregs: u16,
+}
+
+/// One processor op after send/receive folding.
+#[derive(Clone, Debug)]
+enum GenOp {
+    /// Execute a block instruction; `from_port` names a source value consumed
+    /// directly from the input port; `to_port` sends the result directly.
+    Comp {
+        node: usize,
+        from_port: Option<ValueId>,
+        to_port: bool,
+    },
+    Send(ValueId),
+    Recv(ValueId),
+}
+
+/// Send/receive folding (paper §3.1 footnote / Figure 4: communication can be
+/// expressed "by using existing computation instructions with the appropriate
+/// communication registers", making the effective overhead two cycles).
+///
+/// A `Send(v)` folds into `v`'s producing computation when the value has no
+/// other use on the tile; a `Recv(v)` folds into `v`'s unique consumer. Both
+/// folds move a port access within the instruction stream, so each is kept
+/// only if the tile's overall port-write (resp. port-read) order — which must
+/// match the switch's scheduled route order — is preserved.
+fn fold_ops(
+    graph: &TaskGraph,
+    ops: &[(u64, TileOp)],
+    cond: Option<ValueId>,
+    enabled: bool,
+) -> Vec<GenOp> {
+    let mut gen: Vec<Option<GenOp>> = ops
+        .iter()
+        .map(|(_, op)| {
+            Some(match op {
+                TileOp::Comp(n) => GenOp::Comp {
+                    node: *n,
+                    from_port: None,
+                    to_port: false,
+                },
+                TileOp::Send(v) => GenOp::Send(*v),
+                TileOp::Recv(v) => GenOp::Recv(*v),
+            })
+        })
+        .collect();
+
+    // Original port-event ranks (reads and writes share one sequence: the
+    // processor and its switch block on both port directions, so preserving
+    // only per-direction order can still create a buffer-capacity deadlock —
+    // e.g. a write hoisted across enough reads fills the output FIFO while the
+    // switch waits to deliver the unread words).
+    let mut event_rank: HashMap<usize, usize> = HashMap::new();
+    for (i, op) in gen.iter().enumerate() {
+        if matches!(op, Some(GenOp::Send(_)) | Some(GenOp::Recv(_))) {
+            let r = event_rank.len();
+            event_rank.insert(i, r);
+        }
+    }
+
+    // Count uses of a value on this tile (+1 if it is the branch condition).
+    let uses_of = |gen: &[Option<GenOp>], v: ValueId| -> usize {
+        let mut count = if cond == Some(v) { 1 } else { 0 };
+        for op in gen.iter().flatten() {
+            match op {
+                GenOp::Comp { node, .. } => {
+                    count += graph.insts[*node].sources().filter(|&s| s == v).count();
+                }
+                GenOp::Send(s) if *s == v => count += 1,
+                _ => {}
+            }
+        }
+        count
+    };
+
+    // Validation: all port events (reads and writes jointly), ordered by
+    // stream position, must keep their original ranks increasing.
+    let order_ok = |gen: &[Option<GenOp>],
+                    ranks: &HashMap<usize, usize>,
+                    moved: &HashMap<usize, usize>|
+     -> bool {
+        let mut last = None;
+        for (i, op) in gen.iter().enumerate() {
+            let rank = match op {
+                Some(GenOp::Send(_)) | Some(GenOp::Recv(_)) => ranks.get(&i).copied(),
+                Some(GenOp::Comp {
+                    to_port, from_port, ..
+                }) if *to_port || from_port.is_some() => moved.get(&i).copied(),
+                _ => None,
+            };
+            if let Some(r) = rank {
+                if last.is_some_and(|l| r < l) {
+                    return false;
+                }
+                last = Some(r);
+            }
+        }
+        true
+    };
+
+    // Port events moved into computation ops: op index → original rank.
+    let mut moved: HashMap<usize, usize> = HashMap::new();
+
+    // ---- Send folding.
+    for j in 0..gen.len() {
+        if !enabled {
+            break;
+        }
+        let Some(GenOp::Send(v)) = gen[j].clone() else {
+            continue;
+        };
+        // Producer must be a computation on this tile with v as destination.
+        let Some(i) = gen.iter().position(|op| {
+            matches!(op, Some(GenOp::Comp { node, .. }) if graph.insts[*node].dst == Some(v))
+        }) else {
+            continue;
+        };
+        if i >= j || uses_of(&gen, v) != 1 || moved.contains_key(&i) {
+            continue;
+        }
+        // Tentative fold.
+        let rank = event_rank[&j];
+        let saved = gen[j].take();
+        if let Some(GenOp::Comp { to_port, .. }) = gen[i].as_mut() {
+            *to_port = true;
+        }
+        moved.insert(i, rank);
+        if !order_ok(&gen, &event_rank, &moved) {
+            // Revert.
+            gen[j] = saved;
+            if let Some(GenOp::Comp { to_port, .. }) = gen[i].as_mut() {
+                *to_port = false;
+            }
+            moved.remove(&i);
+        }
+    }
+
+    // ---- Receive folding.
+    for i in 0..gen.len() {
+        if !enabled {
+            break;
+        }
+        let Some(GenOp::Recv(v)) = gen[i].clone() else {
+            continue;
+        };
+        if cond == Some(v) {
+            continue; // the branch reads the condition from a register
+        }
+        // All consumers of v on this tile. The fold needs exactly ONE consumer
+        // overall — and that consumer must itself be eligible (uses v once and
+        // carries no other port event). Counting only eligible consumers would
+        // silently orphan an ineligible second consumer.
+        let consumers: Vec<(usize, bool)> = gen
+            .iter()
+            .enumerate()
+            .filter_map(|(k, op)| match op {
+                Some(GenOp::Comp {
+                    node,
+                    from_port,
+                    to_port,
+                }) if graph.insts[*node].sources().any(|s| s == v) => {
+                    let occurrences =
+                        graph.insts[*node].sources().filter(|&s| s == v).count();
+                    let eligible = occurrences == 1 && from_port.is_none() && !*to_port;
+                    Some((k, eligible))
+                }
+                _ => None,
+            })
+            .collect();
+        let sends_v = gen
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, GenOp::Send(s) if *s == v));
+        if consumers.len() != 1 || !consumers[0].1 || sends_v {
+            continue;
+        }
+        let j = consumers[0].0;
+        if j <= i || moved.contains_key(&j) {
+            continue;
+        }
+        let rank = event_rank[&i];
+        let saved = gen[i].take();
+        if let Some(GenOp::Comp { from_port, .. }) = gen[j].as_mut() {
+            *from_port = Some(v);
+        }
+        moved.insert(j, rank);
+        if !order_ok(&gen, &event_rank, &moved) {
+            gen[i] = saved;
+            if let Some(GenOp::Comp { from_port, .. }) = gen[j].as_mut() {
+                *from_port = None;
+            }
+            moved.remove(&j);
+        }
+    }
+
+    gen.into_iter().flatten().collect()
+}
+
+/// Generates per-tile virtual-register code for one scheduled block.
+///
+/// `branch_cond` is the terminator's condition value, if the block ends in a
+/// branch; the producing tile appends a send of the condition for the global
+/// branch broadcast (unless the machine has a single tile), and records
+/// [`TileBlockCode::cond_vreg`].
+pub fn generate(
+    graph: &TaskGraph,
+    schedule: &BlockSchedule,
+    layout: &DataLayout,
+    branch_cond: Option<(ValueId, TileId)>,
+    fold: bool,
+) -> Vec<TileBlockCode> {
+    let n_tiles = layout.n_tiles as usize;
+    let mut out = Vec::with_capacity(n_tiles);
+    for tile in 0..n_tiles {
+        let cond_here = branch_cond.and_then(|(c, producer)| {
+            (producer.index() == tile).then_some(c)
+        });
+        let ops = fold_ops(graph, &schedule.proc_ops[tile], cond_here, fold);
+        let mut gen = TileGen {
+            layout,
+            vregs: HashMap::new(),
+            next_vreg: 0,
+            insts: Vec::new(),
+            shifted: HashMap::new(),
+            globals: HashMap::new(),
+        };
+        for op in &ops {
+            gen.emit(graph, op);
+        }
+        let mut cond_vreg = None;
+        if let Some(cond) = cond_here {
+            let v = gen.vreg(cond);
+            if n_tiles > 1 {
+                // Feed the branch broadcast.
+                gen.insts.push(PInst::Alu {
+                    op: AluOp::Un(UnOp::Mov),
+                    dst: Dst::PortOut,
+                    a: Src::Reg(v),
+                    b: Src::Imm(Imm::I(0)),
+                });
+            }
+            cond_vreg = Some(v);
+        }
+        out.push(TileBlockCode {
+            insts: gen.insts,
+            cond_vreg,
+            n_vregs: gen.next_vreg,
+        });
+    }
+    out
+}
+
+struct TileGen<'a> {
+    layout: &'a DataLayout,
+    vregs: HashMap<ValueId, u16>,
+    next_vreg: u16,
+    insts: Vec<PInst>,
+    /// Memoized `idx >> log2 N` results, keyed by the index vreg.
+    shifted: HashMap<u16, u16>,
+    /// Memoized interleaved global addresses, keyed by `(idx vreg, base)`.
+    globals: HashMap<(u16, u32), u16>,
+}
+
+impl TileGen<'_> {
+    fn vreg(&mut self, v: ValueId) -> u16 {
+        if let Some(&r) = self.vregs.get(&v) {
+            return r;
+        }
+        let r = self.next_vreg;
+        self.next_vreg += 1;
+        self.vregs.insert(v, r);
+        r
+    }
+
+    fn fresh(&mut self) -> u16 {
+        let r = self.next_vreg;
+        self.next_vreg += 1;
+        r
+    }
+
+    fn emit(&mut self, graph: &TaskGraph, op: &GenOp) {
+        match op {
+            GenOp::Send(v) => {
+                let r = self.vreg(*v);
+                self.insts.push(PInst::Alu {
+                    op: AluOp::Un(UnOp::Mov),
+                    dst: Dst::PortOut,
+                    a: Src::Reg(r),
+                    b: Src::Imm(Imm::I(0)),
+                });
+            }
+            GenOp::Recv(v) => {
+                let r = self.vreg(*v);
+                self.insts.push(PInst::Alu {
+                    op: AluOp::Un(UnOp::Mov),
+                    dst: Dst::Reg(r),
+                    a: Src::PortIn,
+                    b: Src::Imm(Imm::I(0)),
+                });
+            }
+            GenOp::Comp {
+                node,
+                from_port,
+                to_port,
+            } => self.emit_comp(graph, *node, *from_port, *to_port),
+        }
+    }
+
+    fn emit_comp(
+        &mut self,
+        graph: &TaskGraph,
+        n: usize,
+        mut from_port: Option<ValueId>,
+        to_port: bool,
+    ) {
+        let inst = graph.insts[n].clone();
+        // Source resolution: a folded receive supplies one operand directly
+        // from the input port (consumed exactly once).
+        let mut src = |gen: &mut Self, v: ValueId| -> Src {
+            if from_port == Some(v) {
+                from_port = None;
+                Src::PortIn
+            } else {
+                Src::Reg(gen.vreg(v))
+            }
+        };
+        // Destination resolution: a folded send writes the output port.
+        let dst = |gen: &mut Self, v: ValueId| -> Dst {
+            if to_port {
+                Dst::PortOut
+            } else {
+                Dst::Reg(gen.vreg(v))
+            }
+        };
+        match &inst.kind {
+            InstKind::Const(imm) => {
+                let d = dst(self, inst.dst.unwrap());
+                self.insts.push(PInst::Alu {
+                    op: AluOp::Un(UnOp::Mov),
+                    dst: d,
+                    a: Src::Imm(*imm),
+                    b: Src::Imm(Imm::I(0)),
+                });
+            }
+            InstKind::Un(op, s) => {
+                let a = src(self, *s);
+                let d = dst(self, inst.dst.unwrap());
+                self.insts.push(PInst::Alu {
+                    op: AluOp::Un(*op),
+                    dst: d,
+                    a,
+                    b: Src::Imm(Imm::I(0)),
+                });
+            }
+            InstKind::Bin(op, l, r) => {
+                let a = src(self, *l);
+                let b = src(self, *r);
+                let d = dst(self, inst.dst.unwrap());
+                self.insts.push(PInst::Alu {
+                    op: AluOp::Bin(*op),
+                    dst: d,
+                    a,
+                    b,
+                });
+            }
+            InstKind::Load { array, index, .. } => {
+                let idx = src(self, *index);
+                let base = self.layout.array_base(*array);
+                match self.layout.class(*array) {
+                    ArrayClass::Static => {
+                        let addr = self.local_addr(idx);
+                        let d = dst(self, inst.dst.unwrap());
+                        self.insts.push(PInst::Load {
+                            dst: d,
+                            addr,
+                            offset: base as i32,
+                        });
+                    }
+                    ArrayClass::Dynamic { .. } => {
+                        let g = self.global_addr(idx, base);
+                        let d = dst(self, inst.dst.unwrap());
+                        self.insts.push(PInst::DLoad {
+                            dst: d,
+                            gaddr: Src::Reg(g),
+                        });
+                    }
+                }
+            }
+            InstKind::Store {
+                array,
+                index,
+                value,
+                ..
+            } => {
+                let idx = src(self, *index);
+                let val = src(self, *value);
+                let base = self.layout.array_base(*array);
+                match self.layout.class(*array) {
+                    ArrayClass::Static => {
+                        let addr = self.local_addr(idx);
+                        self.insts.push(PInst::Store {
+                            value: val,
+                            addr,
+                            offset: base as i32,
+                        });
+                    }
+                    ArrayClass::Dynamic { .. } => {
+                        let g = self.global_addr(idx, base);
+                        self.insts.push(PInst::DStore {
+                            gaddr: Src::Reg(g),
+                            value: val,
+                        });
+                    }
+                }
+            }
+            InstKind::ReadVar(v) => {
+                let d = dst(self, inst.dst.unwrap());
+                self.insts.push(PInst::Load {
+                    dst: d,
+                    addr: Src::Imm(Imm::I(self.layout.var_addr(*v) as i32)),
+                    offset: 0,
+                });
+            }
+            InstKind::WriteVar(v, s) => {
+                let val = src(self, *s);
+                self.insts.push(PInst::Store {
+                    value: val,
+                    addr: Src::Imm(Imm::I(self.layout.var_addr(*v) as i32)),
+                    offset: 0,
+                });
+            }
+        }
+    }
+
+    /// `idx >> log2 N` (no-op shift elided on a 1-tile machine; memoized when
+    /// the index comes from a register).
+    fn local_addr(&mut self, idx: Src) -> Src {
+        let shift = self.layout.tile_shift();
+        if shift == 0 {
+            return idx;
+        }
+        if let Src::Reg(r) = idx {
+            if let Some(&t) = self.shifted.get(&r) {
+                return Src::Reg(t);
+            }
+        }
+        let t = self.fresh();
+        self.insts.push(PInst::Alu {
+            op: AluOp::Bin(raw_ir::BinOp::Shru),
+            dst: Dst::Reg(t),
+            a: idx,
+            b: Src::Imm(Imm::I(shift as i32)),
+        });
+        if let Src::Reg(r) = idx {
+            self.shifted.insert(r, t);
+        }
+        Src::Reg(t)
+    }
+
+    /// `idx + base · N` — the interleaved global address (memoized when the
+    /// index comes from a register).
+    fn global_addr(&mut self, idx: Src, base: u32) -> u16 {
+        if let Src::Reg(r) = idx {
+            if let Some(&t) = self.globals.get(&(r, base)) {
+                return t;
+            }
+        }
+        let t = self.fresh();
+        let base_global = (base << self.layout.tile_shift()) as i32;
+        self.insts.push(PInst::Alu {
+            op: AluOp::Bin(raw_ir::BinOp::Add),
+            dst: Dst::Reg(t),
+            a: idx,
+            b: Src::Imm(Imm::I(base_global)),
+        });
+        if let Src::Reg(r) = idx {
+            self.globals.insert((r, base), t);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::CompilerOptions;
+    use raw_ir::builder::ProgramBuilder;
+    use raw_ir::{MemHome, Ty};
+    use raw_machine::MachineConfig;
+
+    fn codegen_for(
+        n_tiles: u32,
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (Vec<TileBlockCode>, DataLayout) {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        b.halt();
+        let p = b.finish().unwrap();
+        let config = MachineConfig::square(n_tiles);
+        let layout = DataLayout::build(&p, &config);
+        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let options = CompilerOptions::default();
+        let part = crate::partition::partition(&g, &config, &options);
+        let sched = crate::schedule::schedule(&g, &part, &config, &options);
+        (generate(&g, &sched, &layout, None, true), layout)
+    }
+
+    #[test]
+    fn static_load_uses_shift_and_base_offset() {
+        let (code, layout) = codegen_for(4, |b| {
+            let a = b.array("A", Ty::I32, &[8]);
+            let i = b.const_i32(6);
+            let v = b.load(a, i, MemHome::Static(2));
+            let _ = b.add(v, v);
+        });
+        // The load is pinned to tile 2.
+        let tile2 = &code[2].insts;
+        assert!(
+            tile2.iter().any(|i| matches!(
+                i,
+                PInst::Load { offset, .. } if *offset == layout.array_base.first().copied().unwrap() as i32
+            )),
+            "tile 2 code: {tile2:?}"
+        );
+        assert!(tile2
+            .iter()
+            .any(|i| matches!(i, PInst::Alu { op: AluOp::Bin(raw_ir::BinOp::Shru), .. })));
+    }
+
+    #[test]
+    fn dynamic_access_emits_dload() {
+        let (code, _) = codegen_for(2, |b| {
+            let a = b.array("A", Ty::I32, &[8]);
+            let i = b.const_i32(3);
+            let v = b.load(a, i, MemHome::Dynamic);
+            b.store(a, i, v, MemHome::Dynamic);
+        });
+        let all: Vec<&PInst> = code.iter().flat_map(|c| c.insts.iter()).collect();
+        assert!(all.iter().any(|i| matches!(i, PInst::DLoad { .. })));
+        assert!(all.iter().any(|i| matches!(i, PInst::DStore { .. })));
+    }
+
+    #[test]
+    fn single_tile_load_has_no_shift() {
+        let (code, _) = codegen_for(1, |b| {
+            let a = b.array("A", Ty::I32, &[8]);
+            let i = b.const_i32(3);
+            let _ = b.load(a, i, MemHome::Static(0));
+        });
+        assert!(!code[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, PInst::Alu { op: AluOp::Bin(raw_ir::BinOp::Shru), .. })));
+    }
+
+    #[test]
+    fn var_access_is_absolute_slot() {
+        let (code, layout) = codegen_for(2, |b| {
+            let v = b.var_i32("x", 1);
+            let r = b.read_var(v);
+            b.write_var(v, r);
+        });
+        let home = layout.var_home[0].index();
+        let insts = &code[home].insts;
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            PInst::Load { addr: Src::Imm(Imm::I(0)), .. }
+        )));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            PInst::Store { addr: Src::Imm(Imm::I(0)), .. }
+        )));
+    }
+
+    #[test]
+    fn folding_reduces_port_move_instructions() {
+        // Cross-tile dataflow via pinned variables gives sends and receives;
+        // folding must strictly reduce the instruction count while both
+        // versions carry the same number of port events.
+        let mut b = raw_ir::builder::ProgramBuilder::new("t");
+        let v0 = b.var_f32("a0", 1.0); // home tile 0
+        let v1 = b.var_f32("a1", 2.0); // home tile 1
+        let r0 = b.read_var(v0);
+        let r1 = b.read_var(v1);
+        let m = b.mul_f(r0, r1);
+        b.write_var(v0, m);
+        b.halt();
+        let p = b.finish().unwrap();
+        let config = raw_machine::MachineConfig::square(2);
+        let layout = DataLayout::build(&p, &config);
+        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let options = crate::options::CompilerOptions::default();
+        let part = crate::partition::partition(&g, &config, &options);
+        let sched = crate::schedule::schedule(&g, &part, &config, &options);
+
+        let count = |code: &[TileBlockCode]| -> usize {
+            code.iter().map(|c| c.insts.len()).sum()
+        };
+        let port_events = |code: &[TileBlockCode]| -> usize {
+            code.iter()
+                .flat_map(|c| c.insts.iter())
+                .map(|i| {
+                    let reads = i
+                        .sources()
+                        .iter()
+                        .filter(|s| matches!(s, Src::PortIn))
+                        .count();
+                    let writes = usize::from(matches!(i.dst(), Some(Dst::PortOut)));
+                    reads + writes
+                })
+                .sum()
+        };
+        let folded = generate(&g, &sched, &layout, None, true);
+        let unfolded = generate(&g, &sched, &layout, None, false);
+        assert!(count(&folded) < count(&unfolded), "folding must shrink code");
+        assert_eq!(
+            port_events(&folded),
+            port_events(&unfolded),
+            "folding must preserve the number of port events"
+        );
+    }
+
+    #[test]
+    fn vreg_count_tracks_values_and_temps() {
+        let (code, _) = codegen_for(1, |b| {
+            let x = b.const_i32(1);
+            let y = b.add(x, x);
+            let _ = b.mul(y, y);
+        });
+        assert_eq!(code[0].n_vregs, 3);
+    }
+}

@@ -1,0 +1,560 @@
+//! End-to-end compilation driver: orchestrate every basic block, allocate
+//! registers, and link per-tile instruction streams into a loadable
+//! [`MachineProgram`].
+//!
+//! Control flow is *orchestrated globally*: every tile (processor **and**
+//! switch) holds code for every basic block and follows the program's control
+//! flow in lock-step order (not lock-step time). For a conditional branch, the
+//! tile that computes the condition broadcasts it over the static network on a
+//! dimension-ordered multicast tree; every other processor branches on the
+//! received word (`bnez PortIn`) and every switch latches it into a register
+//! and branches on that (paper §3.1's switch is a sequencer with its own
+//! branches).
+
+use crate::codegen::{self, TileBlockCode};
+use crate::layout::{initial_memory_images, DataLayout};
+use crate::options::CompilerOptions;
+use crate::partition;
+use crate::regalloc;
+use crate::schedule::{self, broadcast_routes};
+use crate::taskgraph::TaskGraph;
+use raw_ir::interp::ExecResult;
+use raw_ir::{Imm, Program, Terminator};
+use raw_machine::asm::{ProcAsm, SwitchAsm};
+use raw_machine::isa::{SDst, SSrc};
+use raw_machine::{Machine, MachineConfig, MachineProgram, RunReport, SimError, TileCode, TileId};
+use std::error::Error;
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The machine's tile count must be a power of two (low-order interleaving).
+    TileCountNotPowerOfTwo {
+        /// The offending tile count.
+        n_tiles: u32,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TileCountNotPowerOfTwo { n_tiles } => {
+                write!(f, "tile count {n_tiles} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Per-block compilation metrics.
+#[derive(Clone, Debug, Default)]
+pub struct BlockReport {
+    /// Task-graph size.
+    pub n_nodes: usize,
+    /// Clusters after the clustering phase.
+    pub n_clusters: usize,
+    /// Scheduled communication paths.
+    pub n_comm_paths: usize,
+    /// Estimated schedule length in cycles.
+    pub makespan: u64,
+    /// Virtual registers spilled, summed over tiles.
+    pub spills: usize,
+}
+
+/// Whole-program compilation metrics.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Per-block metrics, indexed by block.
+    pub blocks: Vec<BlockReport>,
+}
+
+impl CompileReport {
+    /// Total spills over all blocks and tiles.
+    pub fn total_spills(&self) -> usize {
+        self.blocks.iter().map(|b| b.spills).sum()
+    }
+
+    /// Largest task graph compiled.
+    pub fn max_block_nodes(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_nodes).max().unwrap_or(0)
+    }
+}
+
+/// A compiled program plus everything needed to load, run, and read it back.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Per-tile instruction streams.
+    pub machine_program: MachineProgram,
+    /// Data layout used (homes, bases, classification).
+    pub layout: DataLayout,
+    /// Machine configuration compiled for.
+    pub config: MachineConfig,
+    /// Compilation metrics.
+    pub report: CompileReport,
+}
+
+impl CompiledProgram {
+    /// Creates a machine and loads this program's initial memory image.
+    pub fn instantiate(&self, program: &Program) -> Machine {
+        let mut machine = Machine::new(self.config.clone(), &self.machine_program);
+        for (tile, words) in initial_memory_images(program, &self.layout)
+            .into_iter()
+            .enumerate()
+        {
+            for (addr, value) in words {
+                machine.set_mem_word(TileId::from_raw(tile as u32), addr, value);
+            }
+        }
+        machine
+    }
+
+    /// Reads the machine-visible final state (variables from their home tiles,
+    /// arrays gathered across the interleaved memories) in the same format as
+    /// the reference interpreter, for bit-exact comparison.
+    pub fn extract_result(&self, program: &Program, machine: &Machine) -> ExecResult {
+        let vars = program
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| {
+                let v = raw_ir::VarId::from_raw(i as u32);
+                let bits =
+                    machine.mem_word(self.layout.var_home(v), self.layout.var_addr(v));
+                Imm::from_bits(bits, decl.ty)
+            })
+            .collect();
+        let arrays = program
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| {
+                let a = raw_ir::ArrayId::from_raw(i as u32);
+                (0..decl.len())
+                    .map(|k| {
+                        machine.mem_word(
+                            self.layout.element_home(k),
+                            self.layout.element_local(a, k),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        ExecResult {
+            vars,
+            arrays,
+            array_tys: program.arrays.iter().map(|a| a.ty).collect(),
+            blocks_executed: 0,
+            insts_executed: 0,
+        }
+    }
+
+    /// Loads, runs, and reads back in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors ([`SimError`]).
+    pub fn run(&self, program: &Program) -> Result<(ExecResult, RunReport), SimError> {
+        let mut machine = self.instantiate(program);
+        let report = machine.run()?;
+        Ok((self.extract_result(program, &machine), report))
+    }
+}
+
+/// Compiles `program` for `config` with the paper's full orchestration
+/// pipeline (space-time scheduling).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unsupported machine shapes.
+pub fn compile(
+    program: &Program,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+) -> Result<CompiledProgram, CompileError> {
+    compile_inner(program, config, options, false)
+}
+
+/// Compiles `program` sequentially for a single tile — the stand-in for the
+/// paper's baseline MIPS compiler (Machine-SUIF), against which speedups are
+/// measured.
+///
+/// The baseline schedules each basic block with **source-order priority**: it
+/// overlaps functional-unit latencies (as any competent sequential compiler
+/// does) but keeps instructions close to program order, so live ranges — and
+/// hence spills — stay near the source program's. This is the contrast the
+/// paper draws in §4.2/§6: RAWCC's parallelism-maximising scheduler inflates
+/// register pressure, which costs it on a single tile (fpppp-kernel).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unsupported machine shapes.
+pub fn compile_baseline(
+    program: &Program,
+    config: &MachineConfig,
+) -> Result<CompiledProgram, CompileError> {
+    assert_eq!(
+        config.n_tiles(),
+        1,
+        "the baseline compiler targets a single tile"
+    );
+    let options = CompilerOptions {
+        priority: crate::options::PriorityScheme::SourceOrder,
+        ..Default::default()
+    };
+    compile_inner(program, config, &options, true)
+}
+
+/// Debug invariant: every virtual-register source in generated code is
+/// defined earlier in the same stream (catches fold/scheduler ordering bugs).
+#[cfg(debug_assertions)]
+fn check_vcode_defs(vcode: &[TileBlockCode]) {
+    for (t, c) in vcode.iter().enumerate() {
+        let mut defined = vec![false; c.n_vregs as usize];
+        for (pos, inst) in c.insts.iter().enumerate() {
+            for s in inst.sources() {
+                if let raw_machine::isa::Src::Reg(r) = s {
+                    assert!(
+                        defined[r as usize],
+                        "tile {t} pos {pos}: use of v{r} before def: {inst:?}"
+                    );
+                }
+            }
+            if let Some(raw_machine::isa::Dst::Reg(r)) = inst.dst() {
+                defined[r as usize] = true;
+            }
+        }
+    }
+}
+
+fn compile_inner(
+    program: &Program,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+    baseline: bool,
+) -> Result<CompiledProgram, CompileError> {
+    let n_tiles = config.n_tiles();
+    if !n_tiles.is_power_of_two() {
+        return Err(CompileError::TileCountNotPowerOfTwo { n_tiles });
+    }
+    let layout = DataLayout::build(program, config);
+    let n = n_tiles as usize;
+
+    struct BlockArtifact {
+        phys: Vec<regalloc::AllocResult>,
+        switch_ops: Vec<Vec<(u64, Vec<(SSrc, SDst)>)>>,
+        cond_producer: Option<TileId>,
+    }
+
+    let mut artifacts: Vec<BlockArtifact> = Vec::with_capacity(program.blocks.len());
+    let mut report = CompileReport::default();
+
+    for (_, block) in program.iter_blocks() {
+        let graph = TaskGraph::build(program, block, &layout, config);
+        debug_assert!(graph.order_edges_colocated());
+
+        let _ = baseline;
+        let (sched, part_clusters, assignment) = {
+            let part = partition::partition(&graph, config, options);
+            let sched = schedule::schedule(&graph, &part, config, options);
+            let nc = part.n_clusters;
+            let assignment = part.assignment;
+            (sched, nc, assignment)
+        };
+
+        // Branch condition producer.
+        let branch_cond = match &block.term {
+            Terminator::Branch { cond, .. } => {
+                let def = graph.def_of[cond];
+                Some((*cond, assignment[def]))
+            }
+            _ => None,
+        };
+
+        let vcode: Vec<TileBlockCode> = codegen::generate(
+            &graph,
+            &sched,
+            &layout,
+            branch_cond,
+            options.fold_communication,
+        );
+        #[cfg(debug_assertions)]
+        check_vcode_defs(&vcode);
+        let phys: Vec<regalloc::AllocResult> = vcode
+            .into_iter()
+            .map(|c| {
+                regalloc::allocate(
+                    c.insts,
+                    c.n_vregs,
+                    c.cond_vreg,
+                    config.gprs,
+                    layout.spill_base,
+                )
+            })
+            .collect();
+
+        report.blocks.push(BlockReport {
+            n_nodes: graph.len(),
+            n_clusters: part_clusters,
+            n_comm_paths: sched.n_comm_paths,
+            makespan: sched.makespan,
+            spills: phys.iter().map(|p| p.n_spilled).sum(),
+        });
+        artifacts.push(BlockArtifact {
+            phys,
+            switch_ops: sched.switch_ops,
+            cond_producer: branch_cond.map(|(_, t)| t),
+        });
+    }
+
+    // ---- Link per-tile streams.
+    let mut tiles = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut pa = ProcAsm::new();
+        let plabels: Vec<_> = program.blocks.iter().map(|_| pa.new_label()).collect();
+        let mut sa = SwitchAsm::new();
+        let slabels: Vec<_> = program.blocks.iter().map(|_| sa.new_label()).collect();
+        let switch_active = n > 1;
+
+        for (b, block) in program.blocks.iter().enumerate() {
+            pa.bind(plabels[b]);
+            for inst in &artifacts[b].phys[t].insts {
+                pa.push(inst.clone());
+            }
+            if switch_active {
+                sa.bind(slabels[b]);
+                for (_, pairs) in &artifacts[b].switch_ops[t] {
+                    sa.route(pairs);
+                }
+            }
+            match &block.term {
+                Terminator::Jump(target) => {
+                    pa.jump(plabels[target.index()]);
+                    if switch_active {
+                        sa.jump(slabels[target.index()]);
+                    }
+                }
+                Terminator::Halt => {
+                    pa.halt();
+                    if switch_active {
+                        sa.halt();
+                    }
+                }
+                Terminator::Branch {
+                    if_true, if_false, ..
+                } => {
+                    let producer = artifacts[b].cond_producer.expect("branch has a producer");
+                    if producer.index() == t {
+                        let cond_reg = artifacts[b].phys[t]
+                            .cond_reg
+                            .expect("producer keeps the condition live");
+                        pa.bnez(
+                            raw_machine::isa::Src::Reg(cond_reg),
+                            plabels[if_true.index()],
+                        );
+                    } else {
+                        pa.bnez(raw_machine::isa::Src::PortIn, plabels[if_true.index()]);
+                    }
+                    pa.jump(plabels[if_false.index()]);
+                    if switch_active {
+                        let routes = broadcast_routes(config, producer);
+                        sa.route(&routes[t]);
+                        sa.bnez(0, slabels[if_true.index()]);
+                        sa.jump(slabels[if_false.index()]);
+                    }
+                }
+            }
+        }
+        let switch = if switch_active {
+            sa.finish()
+        } else {
+            vec![raw_machine::isa::SInst::Halt]
+        };
+        tiles.push(TileCode {
+            proc: pa.finish(),
+            switch,
+        });
+    }
+
+    Ok(CompiledProgram {
+        machine_program: MachineProgram { tiles },
+        layout,
+        config: config.clone(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_ir::builder::ProgramBuilder;
+    use raw_ir::interp::Interpreter;
+    use raw_ir::{MemHome, Ty};
+
+    fn check_vs_interpreter(program: &Program, n_tiles: u32) {
+        let config = MachineConfig::square(n_tiles);
+        let compiled = compile(program, &config, &CompilerOptions::default())
+            .expect("compiles");
+        let (result, _) = compiled.run(program).expect("simulates");
+        let golden = Interpreter::new(program).run().expect("interprets");
+        assert!(
+            result.state_eq(&golden),
+            "n_tiles={n_tiles}\nsim:    {:?}\ngolden: {:?}",
+            result.vars,
+            golden.vars
+        );
+    }
+
+    fn figure6_program() -> Program {
+        let mut b = ProgramBuilder::new("figure6");
+        let a = b.var_i32("a", 3);
+        let bb = b.var_i32("b", 4);
+        let x = b.var_i32("x", 0);
+        let y = b.var_i32("y", 0);
+        let z = b.var_i32("z", 0);
+        let va = b.read_var(a);
+        let vb = b.read_var(bb);
+        let y1 = b.add(va, vb);
+        let z1 = b.mul(va, va);
+        let t1 = b.mul(y1, va);
+        let five = b.const_i32(5);
+        let x1 = b.mul(t1, five);
+        let t2 = b.mul(y1, vb);
+        let six = b.const_i32(6);
+        let y2 = b.mul(t2, six);
+        b.write_var(z, z1);
+        b.write_var(x, x1);
+        b.write_var(y, y2);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn figure6_runs_on_all_machine_sizes() {
+        let p = figure6_program();
+        for n in [1, 2, 4, 8] {
+            check_vs_interpreter(&p, n);
+        }
+    }
+
+    #[test]
+    fn branching_loop_runs_distributed() {
+        // sum = Σ i for i in 0..10 with per-iteration branch broadcast.
+        let mut b = ProgramBuilder::new("loop");
+        let i = b.var_i32("i", 0);
+        let sum = b.var_i32("sum", 0);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.jump(body);
+        b.switch_to(body);
+        let vi = b.read_var(i);
+        let vs = b.read_var(sum);
+        let ns = b.add(vs, vi);
+        let one = b.const_i32(1);
+        let ni = b.add(vi, one);
+        b.write_var(sum, ns);
+        b.write_var(i, ni);
+        let ten = b.const_i32(10);
+        let c = b.slt(ni, ten);
+        b.branch(c, body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let p = b.finish().unwrap();
+        for n in [1, 2, 4] {
+            check_vs_interpreter(&p, n);
+        }
+    }
+
+    #[test]
+    fn static_array_kernel_distributes() {
+        // B[i] = A[i] * A[i] for i in 0..8, fully unrolled, residues annotated
+        // for a 4-tile machine.
+        let n_tiles = 4u32;
+        let mut b = ProgramBuilder::new("square");
+        let a = b.array("A", Ty::I32, &[8]);
+        let bb = b.array("B", Ty::I32, &[8]);
+        b.set_array_init(a, (0..8).map(|k| raw_ir::Imm::I(k + 1)).collect());
+        for k in 0..8u32 {
+            let idx = b.const_i32(k as i32);
+            let v = b.load(a, idx, MemHome::Static(k % n_tiles));
+            let sq = b.mul(v, v);
+            b.store(bb, idx, sq, MemHome::Static(k % n_tiles));
+        }
+        b.halt();
+        let p = b.finish().unwrap();
+        check_vs_interpreter(&p, n_tiles);
+        check_vs_interpreter(&p, 1); // residues mod 1 still work
+    }
+
+    #[test]
+    fn dynamic_array_kernel_round_trips() {
+        let mut b = ProgramBuilder::new("dynamic");
+        let a = b.array("A", Ty::I32, &[8]);
+        b.set_array_init(a, (0..8).map(raw_ir::Imm::I).collect());
+        // A[A[3]] = 99 — the inner value is data-dependent: dynamic access.
+        let three = b.const_i32(3);
+        let inner = b.load(a, three, MemHome::Dynamic);
+        let v99 = b.const_i32(99);
+        b.store(a, inner, v99, MemHome::Dynamic);
+        b.halt();
+        let p = b.finish().unwrap();
+        for n in [1, 2, 4] {
+            check_vs_interpreter(&p, n);
+        }
+    }
+
+    #[test]
+    fn baseline_matches_interpreter() {
+        let p = figure6_program();
+        let config = MachineConfig::square(1);
+        let compiled = compile_baseline(&p, &config).unwrap();
+        let (result, report) = compiled.run(&p).unwrap();
+        let golden = Interpreter::new(&p).run().unwrap();
+        assert!(result.state_eq(&golden));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let p = figure6_program();
+        let config = MachineConfig::grid(1, 3);
+        assert!(matches!(
+            compile(&p, &config, &CompilerOptions::default()),
+            Err(CompileError::TileCountNotPowerOfTwo { n_tiles: 3 })
+        ));
+    }
+
+    #[test]
+    fn parallel_run_is_faster_than_sequential_for_wide_block() {
+        // 16 independent fp chains: 4 tiles should beat 1 tile.
+        let mut b = ProgramBuilder::new("wide");
+        let out: Vec<_> = (0..16)
+            .map(|k| b.var_f32(format!("o{k}"), 0.0))
+            .collect();
+        for (k, &o) in out.iter().enumerate() {
+            let mut v = b.const_f32(1.0 + k as f32);
+            for _ in 0..8 {
+                v = b.mul_f(v, v);
+            }
+            b.write_var(o, v);
+        }
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let cycles = |n: u32| -> u64 {
+            let config = MachineConfig::square(n);
+            let compiled = compile(&p, &config, &CompilerOptions::default()).unwrap();
+            let (result, report) = compiled.run(&p).unwrap();
+            let golden = Interpreter::new(&p).run().unwrap();
+            assert!(result.state_eq(&golden));
+            report.cycles
+        };
+        let c1 = cycles(1);
+        let c4 = cycles(4);
+        assert!(
+            c4 * 2 < c1,
+            "expected ≥2x speedup on 4 tiles: c1={c1} c4={c4}"
+        );
+    }
+}

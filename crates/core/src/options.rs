@@ -1,0 +1,86 @@
+//! Compiler options, including the ablation switches benchmarked in
+//! `EXPERIMENTS.md`.
+
+/// Priority scheme used by the event scheduler (paper §4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PriorityScheme {
+    /// Weighted sum of *level* (longest distance to an exit node) and
+    /// *fertility* (number of descendant tasks) — the paper's scheme.
+    #[default]
+    LevelFertility,
+    /// Level only (ablation).
+    LevelOnly,
+    /// Source order: among ready tasks, the earliest program-order instruction
+    /// issues first. Overlaps latencies while keeping live ranges close to the
+    /// source program's — the behaviour of a conventional sequential compiler,
+    /// used by the baseline.
+    SourceOrder,
+}
+
+/// How the placement phase maps partitions onto physical tiles (paper §4.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacementAlgorithm {
+    /// Greedy improving swaps (the paper's implemented algorithm).
+    #[default]
+    GreedySwap,
+    /// Simulated annealing over swaps (the paper's suggested replacement:
+    /// "this greedy algorithm can be replaced by one with simulated annealing
+    /// for better performance").
+    Annealing {
+        /// Deterministic seed for the annealing schedule.
+        seed: u64,
+    },
+    /// Identity placement (ablation: no optimization at all).
+    None,
+}
+
+/// Knobs controlling the orchestrater. Defaults match the paper's compiler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Run Dominant-Sequence-style clustering before merging (paper §4.1).
+    /// When off, every instruction starts in its own cluster (ablation).
+    pub clustering: bool,
+    /// Placement algorithm (paper §4.1 "placement").
+    pub placement: PlacementAlgorithm,
+    /// Improve placement with greedy swaps minimising communication hops.
+    /// Deprecated alias retained for ablation scripts: when `false`, overrides
+    /// `placement` to [`PlacementAlgorithm::None`].
+    pub placement_swap: bool,
+    /// Event-scheduler priority scheme.
+    pub priority: PriorityScheme,
+    /// Assumed latency of one cross-tile word transfer during clustering
+    /// (the idealized uniform-latency switch of paper §4.1).
+    pub cluster_comm_cost: u32,
+    /// Fold sends/receives into computation instructions where the tile's
+    /// port-event order allows (paper Figure 4: "the effective overhead of the
+    /// communication can be as low as two cycles").
+    pub fold_communication: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            clustering: true,
+            placement: PlacementAlgorithm::default(),
+            placement_swap: true,
+            priority: PriorityScheme::LevelFertility,
+            cluster_comm_cost: 4,
+            fold_communication: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CompilerOptions::default();
+        assert!(o.clustering);
+        assert!(o.placement_swap);
+        assert_eq!(o.priority, PriorityScheme::LevelFertility);
+        assert_eq!(o.cluster_comm_cost, 4);
+        assert!(o.fold_communication);
+    }
+}

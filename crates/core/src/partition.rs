@@ -1,0 +1,514 @@
+//! The instruction partitioner (paper §4.1): clustering → merging → placement.
+//!
+//! * **Clustering** groups instructions whose parallelism is too fine to pay
+//!   for communication, using a greedy Dominant-Sequence-style pass over the
+//!   task graph in topological order with an idealized uniform communication
+//!   cost (paper: Yang & Gerasoulis DSC).
+//! * **Merging** reduces the cluster count to the number of tiles using the
+//!   paper's load-balance heuristic: clusters are visited in decreasing size
+//!   and merged into the least-loaded partition.
+//! * **Placement** maps partitions onto physical tiles and runs a greedy
+//!   swap pass minimising total communication hops on the real mesh.
+//!
+//! Nodes pinned by the data partitioner (memory and variable accesses) carry
+//! their tile through all three phases; a partition containing a pin is locked
+//! to that tile during placement.
+
+use crate::options::CompilerOptions;
+use crate::taskgraph::{EdgeKind, TaskGraph};
+use raw_machine::{MachineConfig, TileId};
+
+/// Result of partitioning one block's task graph.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Executing tile per node.
+    pub assignment: Vec<TileId>,
+    /// Number of clusters produced by the clustering phase (reporting).
+    pub n_clusters: usize,
+}
+
+/// Runs the full partitioning pipeline.
+///
+/// # Panics
+///
+/// Panics if two mutually pinned nodes are forced into conflicting tiles
+/// (cannot happen for graphs built by [`TaskGraph::build`]).
+pub fn partition(
+    graph: &TaskGraph,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+) -> Partition {
+    let n_tiles = config.n_tiles() as usize;
+    if graph.is_empty() {
+        return Partition {
+            assignment: Vec::new(),
+            n_clusters: 0,
+        };
+    }
+    let clusters = if options.clustering {
+        cluster(graph, options.cluster_comm_cost)
+    } else {
+        // Ablation: every node is its own cluster.
+        Clustering {
+            of_node: (0..graph.len()).collect(),
+            pins: graph.pins.clone(),
+            sizes: graph.costs.iter().map(|&c| c as u64).collect(),
+            count: graph.len(),
+        }
+    };
+    let n_clusters = clusters.count;
+    let bins = merge(graph, &clusters, n_tiles);
+    let tile_of_bin = place(graph, &clusters, &bins, config, options);
+    let assignment = (0..graph.len())
+        .map(|n| tile_of_bin[bins.of_cluster[clusters.of_node[n]]])
+        .collect();
+    Partition {
+        assignment,
+        n_clusters,
+    }
+}
+
+/// Clustering phase output.
+#[derive(Debug)]
+struct Clustering {
+    /// Cluster id per node (dense, 0-based after compaction).
+    of_node: Vec<usize>,
+    /// Pin per cluster.
+    pins: Vec<Option<TileId>>,
+    /// Total cost per cluster.
+    sizes: Vec<u64>,
+    /// Number of clusters.
+    count: usize,
+}
+
+/// Greedy DSC-style clustering with an idealized fully connected switch of
+/// uniform latency `comm_cost` (paper §4.1).
+fn cluster(graph: &TaskGraph, comm_cost: u32) -> Clustering {
+    let n = graph.len();
+    let comm = comm_cost as u64;
+    // Cluster state: nodes start as singletons created lazily.
+    let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+    let mut cluster_pin: Vec<Option<TileId>> = Vec::new();
+    let mut cluster_avail: Vec<u64> = Vec::new(); // sequential availability
+    let mut finish: Vec<u64> = vec![0; n];
+
+    for node in graph.topo_order() {
+        let pin = graph.pins[node];
+        // Start time if assigned to cluster `c` (None = fresh singleton).
+        let start_in = |c: Option<usize>,
+                        cluster_of: &Vec<Option<usize>>,
+                        cluster_avail: &Vec<u64>|
+         -> u64 {
+            let mut t = match c {
+                Some(c) => cluster_avail[c],
+                None => 0,
+            };
+            for &(p, kind) in &graph.preds[node] {
+                let pc = cluster_of[p].expect("topological order");
+                let extra = match kind {
+                    EdgeKind::Data if Some(pc) != c => comm,
+                    _ => 0,
+                };
+                t = t.max(finish[p] + extra);
+            }
+            t
+        };
+
+        // Candidates: fresh singleton, or any data-predecessor's cluster whose
+        // pin is compatible. Order edges force the predecessor's cluster only
+        // through pins (both endpoints share the same pin), so they need no
+        // special casing here.
+        let mut best: (Option<usize>, u64) = (None, start_in(None, &cluster_of, &cluster_avail));
+        for &(p, kind) in &graph.preds[node] {
+            if kind != EdgeKind::Data {
+                continue;
+            }
+            let pc = cluster_of[p].unwrap();
+            let compatible = match (pin, cluster_pin[pc]) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            };
+            if !compatible {
+                continue;
+            }
+            let t = start_in(Some(pc), &cluster_of, &cluster_avail);
+            if t < best.1 {
+                best = (Some(pc), t);
+            }
+        }
+        let (chosen, start) = best;
+        let c = match chosen {
+            Some(c) => c,
+            None => {
+                cluster_pin.push(None);
+                cluster_avail.push(0);
+                cluster_pin.len() - 1
+            }
+        };
+        cluster_of[node] = Some(c);
+        if cluster_pin[c].is_none() {
+            cluster_pin[c] = pin;
+        }
+        finish[node] = start + graph.costs[node] as u64;
+        cluster_avail[c] = finish[node];
+    }
+
+    // Merge clusters that share a pin: all nodes pinned to tile T must end up
+    // together anyway, and unifying them here keeps merging simple.
+    let mut canonical: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut remap: Vec<usize> = (0..cluster_pin.len()).collect();
+    for (c, pin) in cluster_pin.iter().enumerate() {
+        if let Some(t) = pin {
+            let entry = canonical.entry(t.index() as u32).or_insert(c);
+            remap[c] = *entry;
+        }
+    }
+    // Compact ids.
+    let mut dense: Vec<Option<usize>> = vec![None; cluster_pin.len()];
+    let mut pins = Vec::new();
+    let mut sizes = Vec::new();
+    let mut of_node = vec![0usize; n];
+    for node in 0..n {
+        let raw = remap[cluster_of[node].unwrap()];
+        let id = *dense[raw].get_or_insert_with(|| {
+            pins.push(cluster_pin[raw]);
+            sizes.push(0);
+            pins.len() - 1
+        });
+        of_node[node] = id;
+        sizes[id] += graph.costs[node] as u64;
+        if pins[id].is_none() {
+            pins[id] = graph.pins[node];
+        }
+    }
+    let count = pins.len();
+    Clustering {
+        of_node,
+        pins,
+        sizes,
+        count,
+    }
+}
+
+/// Merging phase output: bin (partition) per cluster, with per-bin lock.
+#[derive(Debug)]
+struct Bins {
+    of_cluster: Vec<usize>,
+    /// `locked[b] = Some(t)`: bin `b` must be placed on tile `t`.
+    locked: Vec<Option<TileId>>,
+}
+
+/// Load-balance merging into `n_tiles` partitions (paper §4.1 "merging").
+fn merge(graph: &TaskGraph, clusters: &Clustering, n_tiles: usize) -> Bins {
+    let _ = graph;
+    let mut of_cluster = vec![usize::MAX; clusters.count];
+    let mut load = vec![0u64; n_tiles];
+    let mut locked: Vec<Option<TileId>> = vec![None; n_tiles];
+
+    // Pinned clusters claim their tile's bin (bin index = tile index).
+    for c in 0..clusters.count {
+        if let Some(t) = clusters.pins[c] {
+            of_cluster[c] = t.index();
+            load[t.index()] += clusters.sizes[c];
+            locked[t.index()] = Some(t);
+        }
+    }
+    // Unpinned clusters: decreasing size into the least-loaded bin.
+    let mut order: Vec<usize> = (0..clusters.count)
+        .filter(|&c| clusters.pins[c].is_none())
+        .collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(clusters.sizes[c]));
+    for c in order {
+        let bin = (0..n_tiles).min_by_key(|&b| load[b]).unwrap();
+        of_cluster[c] = bin;
+        load[bin] += clusters.sizes[c];
+    }
+    Bins { of_cluster, locked }
+}
+
+/// Placement phase: bins → tiles, minimising total communication hops
+/// (paper §4.1 "placement") — greedy improving swaps by default, simulated
+/// annealing on request.
+fn place(
+    graph: &TaskGraph,
+    clusters: &Clustering,
+    bins: &Bins,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+) -> Vec<TileId> {
+    use crate::options::PlacementAlgorithm;
+    let n_tiles = config.n_tiles() as usize;
+    // Initial assignment: identity (locked bins are already at their tile).
+    let mut tile_of_bin: Vec<TileId> = (0..n_tiles as u32).map(TileId::from_raw).collect();
+    let algorithm = if options.placement_swap {
+        options.placement
+    } else {
+        PlacementAlgorithm::None
+    };
+    if algorithm == PlacementAlgorithm::None || n_tiles == 1 {
+        return tile_of_bin;
+    }
+
+    // Data-edge multiset between bins.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (from, succs) in graph.succs.iter().enumerate() {
+        for &(to, kind) in succs {
+            if kind != EdgeKind::Data {
+                continue;
+            }
+            let bf = bins.of_cluster[clusters.of_node[from]];
+            let bt = bins.of_cluster[clusters.of_node[to]];
+            if bf != bt {
+                edges.push((bf, bt));
+            }
+        }
+    }
+    let cost = |tile_of_bin: &Vec<TileId>| -> u64 {
+        edges
+            .iter()
+            .map(|&(a, b)| config.hops(tile_of_bin[a], tile_of_bin[b]) as u64)
+            .sum()
+    };
+
+    let swappable: Vec<usize> = (0..n_tiles).filter(|&b| bins.locked[b].is_none()).collect();
+    if swappable.len() < 2 {
+        return tile_of_bin;
+    }
+    match algorithm {
+        PlacementAlgorithm::GreedySwap => {
+            let mut current = cost(&tile_of_bin);
+            for _pass in 0..8 {
+                let mut improved = false;
+                for i in 0..swappable.len() {
+                    for j in i + 1..swappable.len() {
+                        let (a, b) = (swappable[i], swappable[j]);
+                        tile_of_bin.swap(a, b);
+                        let c = cost(&tile_of_bin);
+                        if c < current {
+                            current = c;
+                            improved = true;
+                        } else {
+                            tile_of_bin.swap(a, b);
+                        }
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        PlacementAlgorithm::Annealing { seed } => {
+            // Classic swap-move annealing with a geometric cooling schedule.
+            // Deterministic (seeded xorshift), so compilation is reproducible.
+            let mut rng = seed | 1;
+            let mut next = move || {
+                rng ^= rng >> 12;
+                rng ^= rng << 25;
+                rng ^= rng >> 27;
+                rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            let mut current = cost(&tile_of_bin) as f64;
+            let mut best = tile_of_bin.clone();
+            let mut best_cost = current;
+            let mut temperature = (current / edges.len().max(1) as f64).max(1.0) * 4.0;
+            let steps = 200 * swappable.len().max(4);
+            for _ in 0..steps {
+                let a = swappable[(next() % swappable.len() as u64) as usize];
+                let b = swappable[(next() % swappable.len() as u64) as usize];
+                if a == b {
+                    continue;
+                }
+                tile_of_bin.swap(a, b);
+                let c = cost(&tile_of_bin) as f64;
+                let delta = c - current;
+                // Accept improving moves always; worsening moves with
+                // probability exp(-delta / T).
+                let accept = delta <= 0.0 || {
+                    let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                    u < (-delta / temperature).exp()
+                };
+                if accept {
+                    current = c;
+                    if c < best_cost {
+                        best_cost = c;
+                        best = tile_of_bin.clone();
+                    }
+                } else {
+                    tile_of_bin.swap(a, b);
+                }
+                temperature = (temperature * 0.995).max(0.01);
+            }
+            tile_of_bin = best;
+        }
+        PlacementAlgorithm::None => unreachable!("handled above"),
+    }
+    tile_of_bin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DataLayout;
+    use raw_ir::builder::ProgramBuilder;
+    use raw_ir::{MemHome, Program, Ty};
+
+    fn setup(
+        n_tiles: u32,
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (Program, MachineConfig, TaskGraph) {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        b.halt();
+        let p = b.finish().unwrap();
+        let config = MachineConfig::square(n_tiles);
+        let layout = DataLayout::build(&p, &config);
+        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        (p, config, g)
+    }
+
+    #[test]
+    fn serial_chain_stays_on_one_tile() {
+        // A pure dependence chain has no parallelism: clustering must place it
+        // in one cluster, so everything lands on a single tile.
+        let (_, config, g) = setup(4, |b| {
+            let mut v = b.const_i32(1);
+            for _ in 0..10 {
+                v = b.add(v, v);
+            }
+        });
+        let part = partition(&g, &config, &CompilerOptions::default());
+        let first = part.assignment[0];
+        assert!(part.assignment.iter().all(|&t| t == first));
+        assert_eq!(part.n_clusters, 1);
+    }
+
+    #[test]
+    fn independent_chains_spread_across_tiles() {
+        // Four long independent chains should use all four tiles.
+        let (_, config, g) = setup(4, |b| {
+            for _ in 0..4 {
+                let mut v = b.const_f32(1.0);
+                for _ in 0..12 {
+                    v = b.mul_f(v, v);
+                }
+            }
+        });
+        let part = partition(&g, &config, &CompilerOptions::default());
+        let mut used: Vec<TileId> = part.assignment.clone();
+        used.sort();
+        used.dedup();
+        assert_eq!(used.len(), 4, "chains should occupy all tiles");
+        // Each chain must stay on its own tile.
+        for chain in 0..4 {
+            let base = chain * 13;
+            let t = part.assignment[base];
+            assert!(part.assignment[base..base + 13].iter().all(|&x| x == t));
+        }
+    }
+
+    #[test]
+    fn pins_are_respected() {
+        let (_, config, g) = setup(4, |b| {
+            let a = b.array("A", Ty::I32, &[16]);
+            for r in 0..4u32 {
+                let i = b.const_i32(r as i32);
+                let v = b.load(a, i, MemHome::Static(r));
+                let w = b.add(v, v);
+                b.store(a, i, w, MemHome::Static(r));
+            }
+        });
+        let part = partition(&g, &config, &CompilerOptions::default());
+        for (n, inst) in g.insts.iter().enumerate() {
+            if let Some(pin) = g.pins[n] {
+                assert_eq!(part.assignment[n], pin, "node {n} ({inst:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_ablation_still_respects_pins() {
+        let (_, config, g) = setup(2, |b| {
+            let v = b.var_i32("v", 3);
+            let r = b.read_var(v);
+            let s = b.add(r, r);
+            b.write_var(v, s);
+        });
+        let options = CompilerOptions {
+            clustering: false,
+            ..Default::default()
+        };
+        let part = partition(&g, &config, &options);
+        for n in 0..g.len() {
+            if let Some(pin) = g.pins[n] {
+                assert_eq!(part.assignment[n], pin);
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_placement_is_deterministic_and_correct() {
+        use crate::options::PlacementAlgorithm;
+        let (_, config, g) = setup(8, |b| {
+            for _ in 0..8 {
+                let mut v = b.const_f32(1.0);
+                for _ in 0..6 {
+                    v = b.mul_f(v, v);
+                }
+            }
+        });
+        let options = CompilerOptions {
+            placement: PlacementAlgorithm::Annealing { seed: 7 },
+            ..Default::default()
+        };
+        let p1 = partition(&g, &config, &options);
+        let p2 = partition(&g, &config, &options);
+        assert_eq!(p1.assignment, p2.assignment, "annealing must be seeded-deterministic");
+        // Pins (none here) and node coverage still hold.
+        assert_eq!(p1.assignment.len(), g.len());
+    }
+
+    #[test]
+    fn annealing_respects_pins() {
+        use crate::options::PlacementAlgorithm;
+        let (_, config, g) = setup(4, |b| {
+            let a = b.array("A", Ty::I32, &[16]);
+            for r in 0..4u32 {
+                let i = b.const_i32(r as i32);
+                let v = b.load(a, i, MemHome::Static(r));
+                let w = b.add(v, v);
+                b.store(a, i, w, MemHome::Static(r));
+            }
+        });
+        let options = CompilerOptions {
+            placement: PlacementAlgorithm::Annealing { seed: 3 },
+            ..Default::default()
+        };
+        let part = partition(&g, &config, &options);
+        for n in 0..g.len() {
+            if let Some(pin) = g.pins[n] {
+                assert_eq!(part.assignment[n], pin);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_partitions_empty() {
+        let (_, config, g) = setup(2, |_| {});
+        let part = partition(&g, &config, &CompilerOptions::default());
+        assert!(part.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_tile_everything_on_tile_zero() {
+        let (_, config, g) = setup(1, |b| {
+            let x = b.const_i32(1);
+            let y = b.add(x, x);
+            let _ = b.mul(y, y);
+        });
+        let part = partition(&g, &config, &CompilerOptions::default());
+        assert!(part
+            .assignment
+            .iter()
+            .all(|&t| t == TileId::from_raw(0)));
+    }
+}

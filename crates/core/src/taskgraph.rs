@@ -1,0 +1,391 @@
+//! The per-basic-block task graph (paper §3.3 "task graph builder").
+//!
+//! Nodes are three-operand instructions labelled with their estimated cost;
+//! edges are either **data** edges (one word must flow from producer to
+//! consumer — across the static network if they land on different tiles) or
+//! **order** edges (memory/variable serialization with no value transfer).
+//!
+//! Order edges are constructed so that both endpoints are always *pinned to
+//! the same tile* (same variable home, same element-residue home, or the same
+//! dynamic-array issue tile), which means serialization never requires
+//! cross-tile synchronization — the property that makes the conservative
+//! dependence handling of paper §5.1 sound in a distributed schedule.
+
+use crate::layout::{ArrayClass, DataLayout};
+use raw_ir::{Block, Inst, InstKind, MemHome, Program, ValueId};
+use raw_machine::{MachineConfig, TileId};
+use std::collections::HashMap;
+
+/// Index of a node (instruction) within a block's task graph.
+pub type NodeId = usize;
+
+/// Kind of a task-graph edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// One word flows from producer to consumer.
+    Data,
+    /// Serialization only; endpoints are guaranteed co-located.
+    Order,
+}
+
+/// The task graph of one basic block.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// The block's instructions (node `i` is `insts[i]`).
+    pub insts: Vec<Inst>,
+    /// Estimated execution cost per node (paper: node labels).
+    pub costs: Vec<u32>,
+    /// Successor adjacency: `(succ, kind)`.
+    pub succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    /// Predecessor adjacency: `(pred, kind)`.
+    pub preds: Vec<Vec<(NodeId, EdgeKind)>>,
+    /// Tile pin per node (`None` = free to place anywhere).
+    pub pins: Vec<Option<TileId>>,
+    /// Extra issue slots the node needs beyond its own instruction (address
+    /// arithmetic emitted by instruction selection for memory accesses).
+    pub extra_slots: Vec<u32>,
+    /// Defining node of each block-local value.
+    pub def_of: HashMap<ValueId, NodeId>,
+}
+
+impl TaskGraph {
+    /// Builds the task graph for `block`.
+    pub fn build(
+        _program: &Program,
+        block: &Block,
+        layout: &DataLayout,
+        config: &MachineConfig,
+    ) -> TaskGraph {
+        let n = block.insts.len();
+        let mut g = TaskGraph {
+            insts: block.insts.to_vec(),
+            costs: Vec::with_capacity(n),
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            pins: vec![None; n],
+            extra_slots: vec![0; n],
+            def_of: HashMap::new(),
+        };
+
+        // Costs, pins, and instruction-selection slot counts.
+        for (i, inst) in block.insts.iter().enumerate() {
+            g.costs.push(estimate_cost(inst, layout, config));
+            g.pins[i] = pin_of(inst, layout);
+            g.extra_slots[i] = extra_slots_of(inst, layout);
+            if let Some(dst) = inst.dst {
+                g.def_of.insert(dst, i);
+            }
+        }
+
+        // Data edges (def → use within the block).
+        for (i, inst) in block.insts.iter().enumerate() {
+            for src in inst.sources() {
+                if let Some(&d) = g.def_of.get(&src) {
+                    g.add_edge(d, i, EdgeKind::Data);
+                }
+            }
+        }
+
+        // Variable serialization: every ReadVar(v) precedes the WriteVar(v).
+        let mut reads_of: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for (i, inst) in block.insts.iter().enumerate() {
+            match inst.kind {
+                InstKind::ReadVar(v) => reads_of.entry(v.index() as u32).or_default().push(i),
+                InstKind::WriteVar(v, _) => {
+                    if let Some(reads) = reads_of.get(&(v.index() as u32)) {
+                        for &r in reads {
+                            g.add_edge(r, i, EdgeKind::Order);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Memory serialization.
+        g.add_memory_order_edges(block, layout);
+        g
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        if from == to {
+            return;
+        }
+        if self.succs[from].iter().any(|&(s, _)| s == to) {
+            return;
+        }
+        self.succs[from].push((to, kind));
+        self.preds[to].push((from, kind));
+    }
+
+    fn add_memory_order_edges(&mut self, block: &Block, layout: &DataLayout) {
+        // Static arrays: dependences exist only between references with the
+        // same home residue (references to different residues touch different
+        // elements). Within a residue group, apply load/store ordering.
+        // Dynamic arrays: chain every reference in program order.
+        #[derive(Default)]
+        struct Group {
+            last_store: Option<NodeId>,
+            loads_since: Vec<NodeId>,
+        }
+        let mut static_groups: HashMap<(u32, u32), Group> = HashMap::new();
+        let mut dyn_last: HashMap<u32, NodeId> = HashMap::new();
+
+        for (i, inst) in block.insts.iter().enumerate() {
+            let (array, home, is_store) = match inst.kind {
+                InstKind::Load { array, home, .. } => (array, home, false),
+                InstKind::Store { array, home, .. } => (array, home, true),
+                _ => continue,
+            };
+            match layout.class(array) {
+                ArrayClass::Dynamic { .. } => {
+                    let key = array.index() as u32;
+                    if let Some(&prev) = dyn_last.get(&key) {
+                        self.add_edge(prev, i, EdgeKind::Order);
+                    }
+                    dyn_last.insert(key, i);
+                }
+                ArrayClass::Static => {
+                    let residue = match home {
+                        MemHome::Static(r) => r % layout.n_tiles,
+                        MemHome::Dynamic => unreachable!("static array with dynamic ref"),
+                    };
+                    let group = static_groups
+                        .entry((array.index() as u32, residue))
+                        .or_default();
+                    if is_store {
+                        if let Some(s) = group.last_store {
+                            self.add_edge(s, i, EdgeKind::Order);
+                        }
+                        for &l in &group.loads_since {
+                            self.add_edge(l, i, EdgeKind::Order);
+                        }
+                        group.last_store = Some(i);
+                        group.loads_since.clear();
+                    } else {
+                        if let Some(s) = group.last_store {
+                            self.add_edge(s, i, EdgeKind::Order);
+                        }
+                        group.loads_since.push(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Nodes in a topological order (program order is one, since edges only
+    /// ever point forward).
+    pub fn topo_order(&self) -> impl Iterator<Item = NodeId> {
+        0..self.len()
+    }
+
+    /// Checks the co-location guarantee: every order edge joins two nodes with
+    /// identical pins. Used by debug assertions and tests.
+    pub fn order_edges_colocated(&self) -> bool {
+        self.succs.iter().enumerate().all(|(from, ss)| {
+            ss.iter()
+                .filter(|(_, k)| *k == EdgeKind::Order)
+                .all(|&(to, _)| self.pins[from].is_some() && self.pins[from] == self.pins[to])
+        })
+    }
+}
+
+/// Estimated cost of an instruction (task-graph node label).
+fn estimate_cost(inst: &Inst, layout: &DataLayout, config: &MachineConfig) -> u32 {
+    use raw_machine::LatencyModel;
+    let dyn_cost = |_array| {
+        // Round trip: inject + ~diameter hops each way + handler service.
+        let diameter = config.rows + config.cols;
+        4 + 2 * config.mem_latency + 2 * diameter
+    };
+    match &inst.kind {
+        InstKind::Load { array, .. } | InstKind::Store { array, .. } => {
+            match layout.class(*array) {
+                ArrayClass::Dynamic { .. } => dyn_cost(array),
+                ArrayClass::Static => {
+                    if matches!(inst.kind, InstKind::Load { .. }) {
+                        config.mem_latency
+                    } else {
+                        1
+                    }
+                }
+            }
+        }
+        _ => match config.latency {
+            LatencyModel::Table1 => inst.cost(config.mem_latency),
+            LatencyModel::Unit => match inst.kind {
+                InstKind::ReadVar(_) => config.mem_latency,
+                _ => 1,
+            },
+        },
+    }
+}
+
+/// Issue slots instruction selection adds before the operation itself:
+/// interleaved-address arithmetic for array accesses (one shift for static
+/// references on multi-tile machines, one add for dynamic references).
+fn extra_slots_of(inst: &Inst, layout: &DataLayout) -> u32 {
+    match inst.kind {
+        InstKind::Load { array, .. } | InstKind::Store { array, .. } => {
+            match layout.class(array) {
+                ArrayClass::Dynamic { .. } => 1,
+                ArrayClass::Static => u32::from(layout.tile_shift() > 0),
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// The tile a node must execute on, if constrained.
+fn pin_of(inst: &Inst, layout: &DataLayout) -> Option<TileId> {
+    match inst.kind {
+        InstKind::ReadVar(v) | InstKind::WriteVar(v, _) => Some(layout.var_home(v)),
+        InstKind::Load { array, home, .. } | InstKind::Store { array, home, .. } => {
+            match layout.class(array) {
+                ArrayClass::Dynamic { issue_tile } => Some(issue_tile),
+                ArrayClass::Static => match home {
+                    MemHome::Static(r) => Some(TileId::from_raw(r % layout.n_tiles)),
+                    MemHome::Dynamic => unreachable!("static array with dynamic ref"),
+                },
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_ir::builder::ProgramBuilder;
+    use raw_ir::Ty;
+
+    fn graph_for(build: impl FnOnce(&mut ProgramBuilder), n_tiles: u32) -> (Program, TaskGraph) {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        b.halt();
+        let p = b.finish().unwrap();
+        let config = MachineConfig::square(n_tiles);
+        let layout = DataLayout::build(&p, &config);
+        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        (p, g)
+    }
+
+    #[test]
+    fn data_edges_follow_dataflow() {
+        let (_, g) = graph_for(
+            |b| {
+                let x = b.const_i32(1);
+                let y = b.const_i32(2);
+                let s = b.add(x, y);
+                let _t = b.mul(s, s);
+            },
+            4,
+        );
+        assert_eq!(g.len(), 4);
+        assert!(g.succs[0].contains(&(2, EdgeKind::Data)));
+        assert!(g.succs[1].contains(&(2, EdgeKind::Data)));
+        // s used twice by node 3, but the edge is recorded once.
+        assert_eq!(g.succs[2], vec![(3, EdgeKind::Data)]);
+        assert!(g.preds[3].len() == 1);
+    }
+
+    #[test]
+    fn var_read_write_serialized_and_pinned() {
+        let (p, g) = graph_for(
+            |b| {
+                let v = b.var_i32("v", 0);
+                let r = b.read_var(v);
+                let one = b.const_i32(1);
+                let s = b.add(r, one);
+                b.write_var(v, s);
+            },
+            4,
+        );
+        let v = p.var_by_name("v").unwrap();
+        assert_eq!(v.index(), 0);
+        // read (node 0) → write (node 3) order edge.
+        assert!(g.succs[0].contains(&(3, EdgeKind::Order)));
+        assert_eq!(g.pins[0], Some(TileId::from_raw(0)));
+        assert_eq!(g.pins[3], Some(TileId::from_raw(0)));
+        assert!(g.order_edges_colocated());
+    }
+
+    #[test]
+    fn static_memory_same_residue_ordered_distinct_residue_free() {
+        let (_, g) = graph_for(
+            |b| {
+                let a = b.array("A", Ty::I32, &[8]);
+                let i0 = b.const_i32(0);
+                let i4 = b.const_i32(4);
+                let i1 = b.const_i32(1);
+                let v = b.const_i32(9);
+                b.store(a, i0, v, MemHome::Static(0)); // node 4
+                let _l0 = b.load(a, i4, MemHome::Static(0)); // node 5: residue 0 too
+                let _l1 = b.load(a, i1, MemHome::Static(1)); // node 6: residue 1
+                b.store(a, i0, v, MemHome::Static(0)); // node 7
+            },
+            4,
+        );
+        // store(0) → load residue 0.
+        assert!(g.succs[4].contains(&(5, EdgeKind::Order)));
+        // no edge to the residue-1 load.
+        assert!(!g.succs[4].iter().any(|&(s, _)| s == 6));
+        // both store(0) and load(0) → second store.
+        assert!(g.succs[4].contains(&(7, EdgeKind::Order)));
+        assert!(g.succs[5].contains(&(7, EdgeKind::Order)));
+        assert!(g.order_edges_colocated());
+        // Pins follow residues.
+        assert_eq!(g.pins[5], Some(TileId::from_raw(0)));
+        assert_eq!(g.pins[6], Some(TileId::from_raw(1)));
+    }
+
+    #[test]
+    fn dynamic_array_chained_and_pinned_to_one_tile() {
+        let (p, g) = graph_for(
+            |b| {
+                let a = b.array("A", Ty::I32, &[8]);
+                let i0 = b.const_i32(0);
+                let i1 = b.const_i32(1);
+                let l0 = b.load(a, i0, MemHome::Dynamic); // node 2
+                let _l1 = b.load(a, i1, MemHome::Dynamic); // node 3
+                b.store(a, i1, l0, MemHome::Dynamic); // node 4
+            },
+            4,
+        );
+        let _ = p;
+        assert!(g.succs[2].contains(&(3, EdgeKind::Order)));
+        assert!(g.succs[3].contains(&(4, EdgeKind::Order)));
+        assert!(g.pins[2].is_some());
+        assert_eq!(g.pins[2], g.pins[3]);
+        assert_eq!(g.pins[3], g.pins[4]);
+        assert!(g.order_edges_colocated());
+    }
+
+    #[test]
+    fn costs_use_latency_table() {
+        let (_, g) = graph_for(
+            |b| {
+                let x = b.const_f32(1.0);
+                let y = b.mul_f(x, x);
+                let four = b.const_i32(4);
+                let two = b.const_i32(2);
+                let _z = b.div(four, two);
+                let _ = y;
+            },
+            2,
+        );
+        assert_eq!(g.costs[0], 1); // const
+        assert_eq!(g.costs[1], 4); // mulf
+        assert_eq!(g.costs[4], 35); // div
+    }
+}

@@ -1,0 +1,217 @@
+//! Affine array-access analysis for *staticizing* memory references (paper §5.3).
+//!
+//! Under element-wise low-order interleaving across `n` tiles, element `k` of an
+//! array lives on tile `k mod n`. A memory access inside a loop satisfies the
+//! *static reference property* iff the home tile of the element it touches is the
+//! same on every iteration. For an access whose index is an affine function of
+//! loop induction variables, the home tile follows a repetitive pattern whose
+//! period — the **repetition distance** — is compile-time computable; unrolling
+//! the loop by the least common multiple of the distances of all accesses makes
+//! every (unrolled) access static.
+//!
+//! Example from the paper, with 4 tiles:
+//! `A[i]` produces home tiles `[0, 1, 2, 3, 0, ...]` (distance 4) and `A[2i]`
+//! produces `[0, 2, 0, 2, ...]` (distance 2); unrolling by `lcm(4, 2) = 4`
+//! staticizes both.
+
+/// An affine index expression `Σ coeffs[d] · i_d + constant` over the induction
+/// variables of the enclosing loop nest (outermost first).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct AffineIndex {
+    /// Per-loop-dimension coefficients, outermost loop first. Missing trailing
+    /// dimensions are treated as coefficient 0.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl AffineIndex {
+    /// Creates an affine index.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        AffineIndex { coeffs, constant }
+    }
+
+    /// A constant index (no induction-variable dependence).
+    pub fn constant(c: i64) -> Self {
+        AffineIndex {
+            coeffs: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Coefficient for loop dimension `dim` (0 if beyond the recorded depth).
+    pub fn coeff(&self, dim: usize) -> i64 {
+        self.coeffs.get(dim).copied().unwrap_or(0)
+    }
+
+    /// Evaluates the index for concrete induction-variable values.
+    pub fn eval(&self, ivs: &[i64]) -> i64 {
+        self.coeffs
+            .iter()
+            .zip(ivs)
+            .map(|(c, i)| c * i)
+            .sum::<i64>()
+            + self.constant
+    }
+}
+
+/// Greatest common divisor.
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple. Returns 0 when either input is 0.
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// The repetition distance of an access with stride `stride` (the affine
+/// coefficient of the loop's induction variable, times the loop step) under
+/// interleaving over `n_tiles` tiles.
+///
+/// This is the smallest `d > 0` such that `stride · d ≡ 0 (mod n_tiles)`:
+/// `d = n_tiles / gcd(stride mod n_tiles, n_tiles)`.
+///
+/// # Panics
+///
+/// Panics if `n_tiles == 0`.
+pub fn repetition_distance(stride: i64, n_tiles: u32) -> u32 {
+    assert!(n_tiles > 0, "machine must have at least one tile");
+    let n = n_tiles as u64;
+    let s = stride.rem_euclid(n_tiles as i64) as u64;
+    if s == 0 {
+        1
+    } else {
+        (n / gcd(s, n)) as u32
+    }
+}
+
+/// The unroll factor for one loop dimension: the lcm of the repetition
+/// distances of all memory-access strides along that dimension.
+///
+/// Because each distance divides `n_tiles`, the result also divides `n_tiles`,
+/// bounding per-dimension code expansion by the machine size (paper §5.3: "the
+/// unroll factor per loop dimension is always at most N").
+pub fn unroll_factor(strides: impl IntoIterator<Item = i64>, n_tiles: u32) -> u32 {
+    let mut factor: u64 = 1;
+    for s in strides {
+        factor = lcm(factor, repetition_distance(s, n_tiles) as u64);
+    }
+    factor.max(1) as u32
+}
+
+/// The home-tile residue (`index mod n_tiles`) of an affine access at a specific
+/// unrolled instance, given the loop lower bounds.
+///
+/// After unrolling each loop dimension by a multiple of the access's repetition
+/// distance, the residue is invariant across iterations, so it can be computed
+/// once from the lower bounds and the per-instance offsets.
+///
+/// `lower_bounds[d]` is the initial induction value of dimension `d` *for this
+/// unrolled instance* (i.e. original lower bound plus the instance offset times
+/// the step).
+pub fn home_residue(index: &AffineIndex, lower_bounds: &[i64], n_tiles: u32) -> u32 {
+    let v = index.eval(lower_bounds);
+    v.rem_euclid(n_tiles as i64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // Paper §5.3: 4 tiles, A[i] has distance 4; A[2i] has distance 2.
+        assert_eq!(repetition_distance(1, 4), 4);
+        assert_eq!(repetition_distance(2, 4), 2);
+        // Unrolling by lcm(4,2) = 4 staticizes the loop.
+        assert_eq!(unroll_factor([1, 2], 4), 4);
+    }
+
+    #[test]
+    fn distance_divides_n_tiles() {
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            for stride in -10i64..=10 {
+                let d = repetition_distance(stride, n);
+                assert_eq!(n % d, 0, "distance {d} must divide {n}");
+                // stride * d ≡ 0 (mod n)
+                assert_eq!((stride * d as i64).rem_euclid(n as i64), 0);
+                // Minimality.
+                for smaller in 1..d {
+                    assert_ne!(
+                        (stride * smaller as i64).rem_euclid(n as i64),
+                        0,
+                        "distance {d} for stride {stride} over {n} not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_stride_needs_no_unrolling() {
+        assert_eq!(repetition_distance(0, 8), 1);
+        assert_eq!(repetition_distance(8, 8), 1);
+        assert_eq!(repetition_distance(-8, 8), 1);
+    }
+
+    #[test]
+    fn negative_strides() {
+        // A[100 - i] over 4 tiles: stride -1, pattern period 4.
+        assert_eq!(repetition_distance(-1, 4), 4);
+        // A[-2i] over 8 tiles: period 4.
+        assert_eq!(repetition_distance(-2, 8), 4);
+    }
+
+    #[test]
+    fn unroll_factor_caps_at_n() {
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            let f = unroll_factor([1, 2, 3, 5, 7], n);
+            assert!(f <= n.max(1));
+            assert_eq!(n % f, 0);
+        }
+    }
+
+    #[test]
+    fn home_residue_is_iteration_invariant_after_unroll() {
+        // for i in (0..32): access A[3i + 5] on 8 tiles.
+        let idx = AffineIndex::new(vec![3], 5);
+        let n = 8u32;
+        let d = repetition_distance(3, n);
+        assert_eq!(d, 8);
+        // Instance at offset t has lower bound t; stepping by d keeps residue.
+        for t in 0..d as i64 {
+            let r0 = home_residue(&idx, &[t], n);
+            for k in 0..4 {
+                let r = home_residue(&idx, &[t + (k * d as i64)], n);
+                assert_eq!(r, r0);
+            }
+        }
+    }
+
+    #[test]
+    fn affine_eval() {
+        let idx = AffineIndex::new(vec![32, 1], 2); // A[i][j+2] with row width 32
+        assert_eq!(idx.eval(&[3, 4]), 32 * 3 + 4 + 2);
+        assert_eq!(idx.coeff(5), 0);
+        assert_eq!(AffineIndex::constant(9).eval(&[1, 2]), 9);
+    }
+}

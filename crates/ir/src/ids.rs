@@ -1,0 +1,96 @@
+//! Typed index newtypes for the entities of a [`Program`](crate::Program).
+//!
+//! Each id is a dense index into the corresponding table of the program it was
+//! created for. Ids from different programs must not be mixed; the
+//! [`verify`](crate::verify) pass catches out-of-range ids.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Normally ids are minted by [`ProgramBuilder`](crate::builder::ProgramBuilder);
+            /// this constructor exists for tables indexed by id in downstream crates.
+            pub fn from_raw(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a single-assignment value inside a [`Program`](crate::Program).
+    ///
+    /// Values are block-local: every use of a `ValueId` must appear after its
+    /// definition within the same basic block (paper §3.3: renaming localizes all
+    /// intra-block dataflow).
+    ValueId,
+    "v"
+);
+
+define_id!(
+    /// Identifies a basic block of a [`Program`](crate::Program).
+    BlockId,
+    "bb"
+);
+
+define_id!(
+    /// Identifies a named persistent scalar variable.
+    ///
+    /// Variables are the only channel for dataflow between basic blocks; each is
+    /// assigned a *home tile* by the data partitioner (paper §3.3).
+    VarId,
+    "var"
+);
+
+define_id!(
+    /// Identifies a declared array object.
+    ///
+    /// Arrays are low-order interleaved element-wise across tile memories by
+    /// default (paper §5.2).
+    ArrayId,
+    "arr"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_index() {
+        let v = ValueId::from_raw(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(format!("{v}"), "v17");
+        assert_eq!(format!("{v:?}"), "v17");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(BlockId::from_raw(1) < BlockId::from_raw(2));
+        assert_eq!(VarId::from_raw(3), VarId::from_raw(3));
+        assert_ne!(ArrayId::from_raw(3), ArrayId::from_raw(4));
+    }
+}

@@ -1,0 +1,57 @@
+//! Frontend errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in the source text (1-based).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced by the mini-C frontend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new(Span { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

@@ -1,0 +1,738 @@
+//! Typed lowering of the (unrolled) AST to [`raw_ir`] programs.
+//!
+//! Lowering performs the paper's *initial code transformation* (§3.3) on the
+//! fly: expressions decompose into three-operand instructions, and scalar
+//! variables are renamed into block-local single-assignment values — a
+//! variable is read from its home once per block ([`InstKind::ReadVar`]) and
+//! written back once at the end of each block that modifies it
+//! ([`InstKind::WriteVar`]).
+//!
+//! Lowering also classifies every array access (paper §5.1): an access whose
+//! linearized index is affine in the enclosing `for` variables, each of whose
+//! strides is a multiple of the tile count (guaranteed by the unroller), has a
+//! compile-time home-tile residue and becomes [`MemHome::Static`]; anything
+//! else becomes [`MemHome::Dynamic`]. On a single-tile machine every access is
+//! trivially static.
+//!
+//! [`InstKind::ReadVar`]: raw_ir::InstKind::ReadVar
+//! [`InstKind::WriteVar`]: raw_ir::InstKind::WriteVar
+//! [`MemHome::Static`]: raw_ir::MemHome::Static
+//! [`MemHome::Dynamic`]: raw_ir::MemHome::Dynamic
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::unroll::{affine_coeff, const_eval, subst_var_zero};
+use raw_ir::builder::ProgramBuilder;
+use raw_ir::{ArrayId, BinOp, Imm, MemHome, Program, Ty, UnOp, ValueId, VarId};
+use std::collections::HashMap;
+
+/// Lowers an (already unrolled) kernel to an IR program for `n_tiles` tiles.
+///
+/// # Errors
+///
+/// Returns type and name-resolution errors with source positions.
+pub fn lower_kernel(kernel: &Kernel, n_tiles: u32) -> Result<Program, LangError> {
+    let mut lower = Lower {
+        b: ProgramBuilder::new(kernel.name.clone()),
+        vars: HashMap::new(),
+        arrays: HashMap::new(),
+        cache: HashMap::new(),
+        dirty: Vec::new(),
+        loops: Vec::new(),
+        n_tiles,
+    };
+    for v in &kernel.vars {
+        if lower.vars.contains_key(&v.name) || lower.arrays.contains_key(&v.name) {
+            return Err(LangError::new(v.span, format!("duplicate name '{}'", v.name)));
+        }
+        let init = match (v.ty, v.init) {
+            (Type::Int, None) => Imm::I(0),
+            (Type::Float, None) => Imm::F(0.0),
+            (Type::Int, Some(Literal::Int(x))) => Imm::I(x as i32),
+            (Type::Float, Some(Literal::Float(x))) => Imm::F(x),
+            (Type::Float, Some(Literal::Int(x))) => Imm::F(x as f32),
+            (Type::Int, Some(Literal::Float(_))) => {
+                return Err(LangError::new(
+                    v.span,
+                    format!("cannot initialize int '{}' with a float literal", v.name),
+                ))
+            }
+        };
+        let id = lower.b.declare_var(v.name.clone(), ir_ty(v.ty), init);
+        lower.vars.insert(v.name.clone(), (id, v.ty));
+    }
+    for a in &kernel.arrays {
+        if lower.vars.contains_key(&a.name) || lower.arrays.contains_key(&a.name) {
+            return Err(LangError::new(a.span, format!("duplicate name '{}'", a.name)));
+        }
+        let id = lower.b.array(a.name.clone(), ir_ty(a.ty), &a.dims);
+        lower.arrays.insert(a.name.clone(), (id, a.dims.clone(), a.ty));
+    }
+    lower.stmts(&kernel.stmts)?;
+    lower.flush();
+    lower.b.halt();
+    let mut program = lower
+        .b
+        .finish()
+        .map_err(|e| LangError::new(Span::default(), format!("internal lowering error: {e}")))?;
+    // Standard local clean-ups (the paper's SUIF frontend provided these).
+    raw_ir::opt::optimize(&mut program);
+    Ok(program)
+}
+
+fn ir_ty(t: Type) -> Ty {
+    match t {
+        Type::Int => Ty::I32,
+        Type::Float => Ty::F32,
+    }
+}
+
+struct LoopCtx {
+    var: String,
+    /// Induction value at the first iteration, when known.
+    base: Option<i64>,
+    /// Per-iteration step, when known.
+    step: Option<i64>,
+}
+
+struct Lower {
+    b: ProgramBuilder,
+    vars: HashMap<String, (VarId, Type)>,
+    arrays: HashMap<String, (ArrayId, Vec<u32>, Type)>,
+    /// Current block-local value of each scalar.
+    cache: HashMap<String, ValueId>,
+    /// Scalars assigned in the current block, in first-assignment order.
+    dirty: Vec<String>,
+    loops: Vec<LoopCtx>,
+    n_tiles: u32,
+}
+
+impl Lower {
+    /// Writes back dirty variables and forgets block-local values. Must be
+    /// called before every block boundary.
+    fn flush(&mut self) {
+        for name in std::mem::take(&mut self.dirty) {
+            let value = self.cache[&name];
+            let (var, _) = self.vars[&name];
+            self.b.write_var(var, value);
+        }
+        self.cache.clear();
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Assign { target, value } => self.assign(target, value),
+            Stmt::If { cond, then, els } => {
+                let (c, ct) = self.expr(cond, Some(Type::Int))?;
+                expect(Type::Int, ct, cond.span(), "if condition")?;
+                self.flush();
+                let then_b = self.b.new_block("then");
+                let else_b = self.b.new_block("else");
+                let join = self.b.new_block("join");
+                self.b.branch(c, then_b, else_b);
+                self.b.switch_to(then_b);
+                self.stmts(then)?;
+                self.flush();
+                self.b.jump(join);
+                self.b.switch_to(else_b);
+                self.stmts(els)?;
+                self.flush();
+                self.b.jump(join);
+                self.b.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.flush();
+                let header = self.b.new_block("while.header");
+                let body_b = self.b.new_block("while.body");
+                let exit = self.b.new_block("while.exit");
+                self.b.jump(header);
+                self.b.switch_to(header);
+                let (c, ct) = self.expr(cond, Some(Type::Int))?;
+                expect(Type::Int, ct, cond.span(), "while condition")?;
+                self.flush();
+                self.b.branch(c, body_b, exit);
+                self.b.switch_to(body_b);
+                self.stmts(body)?;
+                self.flush();
+                self.b.jump(header);
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                bound,
+                inclusive,
+                step,
+                body,
+                span,
+            } => {
+                let (_, vt) = *self
+                    .vars
+                    .get(var)
+                    .ok_or_else(|| LangError::new(*span, format!("undeclared variable '{var}'")))?;
+                expect(Type::Int, vt, *span, "for induction variable")?;
+                // i = init
+                self.assign(&LValue::Var(var.clone(), *span), init)?;
+
+                // Known trip count? Then rotate into do-while form: the body
+                // block ends with increment + test + backward branch, saving a
+                // separate header block (and its branch broadcast and variable
+                // round-trips) every iteration.
+                let trip = match (const_eval(init), const_eval(bound), const_eval(step)) {
+                    (Some(i0), Some(b0), Some(s0)) if s0 > 0 => {
+                        let upper = if *inclusive { b0 + 1 } else { b0 };
+                        Some(((upper - i0).max(0) + s0 - 1) / s0)
+                    }
+                    _ => None,
+                };
+                let incr = Expr::Bin {
+                    op: BinKind::Add,
+                    l: Box::new(Expr::Var(var.clone(), *span)),
+                    r: Box::new(step.clone()),
+                    span: *span,
+                };
+                let cond_op = if *inclusive { BinOp::Sle } else { BinOp::Slt };
+
+                match trip {
+                    Some(0) => Ok(()), // body never runs; i keeps its init value
+                    Some(_) => {
+                        self.flush();
+                        let body_b = self.b.new_block("for.body");
+                        let exit = self.b.new_block("for.exit");
+                        self.b.jump(body_b);
+                        self.b.switch_to(body_b);
+                        self.loops.push(LoopCtx {
+                            var: var.clone(),
+                            base: const_eval(init),
+                            step: const_eval(step),
+                        });
+                        self.stmts(body)?;
+                        self.assign(&LValue::Var(var.clone(), *span), &incr)?;
+                        self.loops.pop();
+                        let (iv, _) =
+                            self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
+                        let (bv, bt) = self.expr(bound, Some(Type::Int))?;
+                        expect(Type::Int, bt, bound.span(), "for bound")?;
+                        let c = self.b.bin(cond_op, iv, bv);
+                        self.flush();
+                        self.b.branch(c, body_b, exit);
+                        self.b.switch_to(exit);
+                        Ok(())
+                    }
+                    None => {
+                        // Unknown trip count: classic header-guarded loop.
+                        self.flush();
+                        let header = self.b.new_block("for.header");
+                        let body_b = self.b.new_block("for.body");
+                        let exit = self.b.new_block("for.exit");
+                        self.b.jump(header);
+                        self.b.switch_to(header);
+                        let (iv, _) =
+                            self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
+                        let (bv, bt) = self.expr(bound, Some(Type::Int))?;
+                        expect(Type::Int, bt, bound.span(), "for bound")?;
+                        let c = self.b.bin(cond_op, iv, bv);
+                        self.flush();
+                        self.b.branch(c, body_b, exit);
+                        self.b.switch_to(body_b);
+                        self.loops.push(LoopCtx {
+                            var: var.clone(),
+                            base: const_eval(init),
+                            step: const_eval(step),
+                        });
+                        self.stmts(body)?;
+                        self.assign(&LValue::Var(var.clone(), *span), &incr)?;
+                        self.loops.pop();
+                        self.flush();
+                        self.b.jump(header);
+                        self.b.switch_to(exit);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &LValue, value: &Expr) -> Result<(), LangError> {
+        match target {
+            LValue::Var(name, span) => {
+                let (_, vt) = *self
+                    .vars
+                    .get(name)
+                    .ok_or_else(|| LangError::new(*span, format!("undeclared variable '{name}'")))?;
+                let (v, t) = self.expr(value, Some(vt))?;
+                expect(vt, t, value.span(), "assignment")?;
+                if !self.cache.contains_key(name) || !self.dirty.contains(name) {
+                    if !self.dirty.contains(name) {
+                        self.dirty.push(name.clone());
+                    }
+                }
+                self.cache.insert(name.clone(), v);
+                Ok(())
+            }
+            LValue::Index {
+                array,
+                indices,
+                span,
+            } => {
+                let (aid, dims, ety) = self
+                    .arrays
+                    .get(array)
+                    .cloned()
+                    .ok_or_else(|| LangError::new(*span, format!("undeclared array '{array}'")))?;
+                let (v, t) = self.expr(value, Some(ety))?;
+                expect(ety, t, value.span(), "array store")?;
+                let (idx, home) = self.index(&dims, indices, *span)?;
+                self.b.store(aid, idx, v, home);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers a multi-dimensional index to a linearized value plus its
+    /// static/dynamic home classification.
+    fn index(
+        &mut self,
+        dims: &[u32],
+        indices: &[Expr],
+        span: Span,
+    ) -> Result<(ValueId, MemHome), LangError> {
+        if dims.len() != indices.len() {
+            return Err(LangError::new(
+                span,
+                format!(
+                    "array has {} dimensions but {} indices were given",
+                    dims.len(),
+                    indices.len()
+                ),
+            ));
+        }
+        // Home classification from the *source* affine form.
+        let home = self.classify(dims, indices);
+        // Linearized value: ((i0 * d1) + i1) * d2 + i2 ...
+        let mut acc: Option<ValueId> = None;
+        for (k, idx) in indices.iter().enumerate() {
+            let (v, t) = self.expr(idx, Some(Type::Int))?;
+            expect(Type::Int, t, idx.span(), "array index")?;
+            acc = Some(match acc {
+                None => v,
+                Some(prev) => {
+                    let scaled = self.mul_const(prev, dims[k] as i64);
+                    self.b.add(scaled, v)
+                }
+            });
+        }
+        Ok((acc.expect("arrays have at least one dimension"), home))
+    }
+
+    /// Computes the home residue of an access if it satisfies the static
+    /// reference property (paper §5.3); otherwise classifies it dynamic.
+    fn classify(&self, dims: &[u32], indices: &[Expr]) -> MemHome {
+        let n = self.n_tiles as i64;
+        if n == 1 {
+            // Every element lives on the only tile.
+            return MemHome::Static(0);
+        }
+        // Linearized affine form over active loop variables.
+        let mut constant = 0i64;
+        let mut coeffs: HashMap<&str, i64> = HashMap::new();
+        let mut mult = 1i64;
+        for (idx, dim) in indices.iter().zip(dims).rev() {
+            match const_eval(idx) {
+                Some(c) => constant += c * mult,
+                None => {
+                    // Must be affine over the loop variables; the non-loop part
+                    // must be constant.
+                    let mut remainder = idx.clone();
+                    for ctx in &self.loops {
+                        match affine_coeff(idx, &ctx.var) {
+                            Some(c) => {
+                                if c != 0 {
+                                    *coeffs.entry(ctx.var.as_str()).or_insert(0) += c * mult;
+                                }
+                                remainder = subst_var_zero(&remainder, &ctx.var);
+                            }
+                            None => return MemHome::Dynamic,
+                        }
+                    }
+                    match const_eval(&remainder) {
+                        Some(c) => constant += c * mult,
+                        None => return MemHome::Dynamic,
+                    }
+                }
+            }
+            mult *= *dim as i64;
+        }
+        // Every stride must vanish mod n, with known loop bases.
+        let mut residue = constant;
+        for ctx in &self.loops {
+            let coeff = coeffs.get(ctx.var.as_str()).copied().unwrap_or(0);
+            if coeff == 0 {
+                continue;
+            }
+            match (ctx.base, ctx.step) {
+                (Some(base), Some(step)) if (coeff * step).rem_euclid(n) == 0 => {
+                    residue += coeff * base;
+                }
+                _ => return MemHome::Dynamic,
+            }
+        }
+        MemHome::Static(residue.rem_euclid(n) as u32)
+    }
+
+    /// Emits `v * c` using shifts and adds where profitable (a 12-cycle
+    /// multiply otherwise — Table 1).
+    fn mul_const(&mut self, v: ValueId, c: i64) -> ValueId {
+        let (mag, negate) = if c < 0 { (-c, true) } else { (c, false) };
+        let reduced = match mag {
+            0 => Some(self.b.const_i32(0)),
+            1 => Some(v),
+            m if m as u64 > i32::MAX as u64 => None,
+            m if (m as u64).is_power_of_two() => {
+                let sh = self.b.const_i32(m.trailing_zeros() as i32);
+                Some(self.b.bin(BinOp::Shl, v, sh))
+            }
+            m if ((m + 1) as u64).is_power_of_two() => {
+                // 2^k - 1: (v << k) - v.
+                let sh = self.b.const_i32((m + 1).trailing_zeros() as i32);
+                let shifted = self.b.bin(BinOp::Shl, v, sh);
+                Some(self.b.sub(shifted, v))
+            }
+            m if ((m - 1) as u64).is_power_of_two() => {
+                // 2^k + 1: (v << k) + v.
+                let sh = self.b.const_i32((m - 1).trailing_zeros() as i32);
+                let shifted = self.b.bin(BinOp::Shl, v, sh);
+                Some(self.b.add(shifted, v))
+            }
+            _ => None,
+        };
+        let value = reduced.unwrap_or_else(|| {
+            let c = self.b.const_i32(mag as i32);
+            self.b.mul(v, c)
+        });
+        if negate {
+            self.b.un(raw_ir::UnOp::Neg, value)
+        } else {
+            value
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, want: Option<Type>) -> Result<(ValueId, Type), LangError> {
+        match e {
+            Expr::Lit(Literal::Int(v), span) => {
+                if want == Some(Type::Float) {
+                    Ok((self.b.const_f32(*v as f32), Type::Float))
+                } else {
+                    let x = i32::try_from(*v).map_err(|_| {
+                        LangError::new(*span, format!("integer literal {v} out of range"))
+                    })?;
+                    Ok((self.b.const_i32(x), Type::Int))
+                }
+            }
+            Expr::Lit(Literal::Float(v), _) => Ok((self.b.const_f32(*v), Type::Float)),
+            Expr::Var(name, span) => {
+                let (var, t) = *self
+                    .vars
+                    .get(name)
+                    .ok_or_else(|| LangError::new(*span, format!("undeclared variable '{name}'")))?;
+                if let Some(&v) = self.cache.get(name) {
+                    return Ok((v, t));
+                }
+                let v = self.b.read_var(var);
+                self.cache.insert(name.clone(), v);
+                Ok((v, t))
+            }
+            Expr::Index {
+                array,
+                indices,
+                span,
+            } => {
+                let (aid, dims, ety) = self
+                    .arrays
+                    .get(array)
+                    .cloned()
+                    .ok_or_else(|| LangError::new(*span, format!("undeclared array '{array}'")))?;
+                let (idx, home) = self.index(&dims, indices, *span)?;
+                Ok((self.b.load(aid, idx, home), ety))
+            }
+            Expr::Un { op, e: inner, span } => {
+                let (v, t) = self.expr(inner, want)?;
+                match op {
+                    UnKind::Neg => {
+                        let r = match t {
+                            Type::Int => self.b.un(UnOp::Neg, v),
+                            Type::Float => self.b.un(UnOp::NegF, v),
+                        };
+                        Ok((r, t))
+                    }
+                    UnKind::Not => {
+                        expect(Type::Int, t, *span, "'!'")?;
+                        let zero = self.b.const_i32(0);
+                        Ok((self.b.seq(v, zero), Type::Int))
+                    }
+                }
+            }
+            Expr::Call { f, arg, span } => {
+                let (want_arg, out) = match f {
+                    Intrinsic::Sqrt | Intrinsic::Abs => (Type::Float, Type::Float),
+                    Intrinsic::ToInt => (Type::Float, Type::Int),
+                    Intrinsic::ToFloat => (Type::Int, Type::Float),
+                };
+                let (v, t) = self.expr(arg, Some(want_arg))?;
+                expect(want_arg, t, *span, "intrinsic argument")?;
+                let op = match f {
+                    Intrinsic::Sqrt => UnOp::SqrtF,
+                    Intrinsic::Abs => UnOp::AbsF,
+                    Intrinsic::ToInt => UnOp::CvtFI,
+                    Intrinsic::ToFloat => UnOp::CvtIF,
+                };
+                Ok((self.b.un(op, v), out))
+            }
+            Expr::Bin { op, l, r, span } => self.bin(*op, l, r, *span, want),
+        }
+    }
+
+    fn bin(
+        &mut self,
+        op: BinKind,
+        l: &Expr,
+        r: &Expr,
+        span: Span,
+        want: Option<Type>,
+    ) -> Result<(ValueId, Type), LangError> {
+        // Operand type: float if either side is (or is forced) float.
+        let operand_want = match op {
+            BinKind::And | BinKind::Or => Some(Type::Int),
+            BinKind::Add | BinKind::Sub | BinKind::Mul | BinKind::Div => want,
+            _ => None,
+        };
+        let (mut lv, lt) = self.expr(l, operand_want)?;
+        // Promote an int-literal left side against a float right side.
+        let (rv, rt) = self.expr(r, Some(lt).filter(|_| operand_want.is_none()).or(operand_want))?;
+        let ty = if lt == rt {
+            lt
+        } else if lt == Type::Int && matches!(l, Expr::Lit(Literal::Int(_), _)) {
+            // Re-emit the left literal as float.
+            if let Expr::Lit(Literal::Int(v), _) = l {
+                lv = self.b.const_f32(*v as f32);
+            }
+            Type::Float
+        } else {
+            return Err(LangError::new(
+                span,
+                format!("operand type mismatch: {lt:?} vs {rt:?}"),
+            ));
+        };
+        let (result, out_ty) = match (op, ty) {
+            (BinKind::Add, Type::Int) => (self.b.add(lv, rv), Type::Int),
+            (BinKind::Sub, Type::Int) => (self.b.sub(lv, rv), Type::Int),
+            (BinKind::Mul, Type::Int) => {
+                // Strength-reduce multiplies by literal constants: the 12-cycle
+                // multiplier dominates address arithmetic otherwise.
+                let reduced = match (const_eval(l), const_eval(r)) {
+                    (Some(c), _) => Some(self.mul_const(rv, c)),
+                    (_, Some(c)) => Some(self.mul_const(lv, c)),
+                    _ => None,
+                };
+                (reduced.unwrap_or_else(|| self.b.mul(lv, rv)), Type::Int)
+            }
+            (BinKind::Div, Type::Int) => (self.b.div(lv, rv), Type::Int),
+            (BinKind::Rem, Type::Int) => (self.b.bin(BinOp::Rem, lv, rv), Type::Int),
+            (BinKind::Add, Type::Float) => (self.b.add_f(lv, rv), Type::Float),
+            (BinKind::Sub, Type::Float) => (self.b.sub_f(lv, rv), Type::Float),
+            (BinKind::Mul, Type::Float) => (self.b.mul_f(lv, rv), Type::Float),
+            (BinKind::Div, Type::Float) => (self.b.div_f(lv, rv), Type::Float),
+            (BinKind::Rem, Type::Float) => {
+                return Err(LangError::new(span, "'%' requires integer operands"))
+            }
+            (BinKind::Lt, Type::Int) => (self.b.slt(lv, rv), Type::Int),
+            (BinKind::Gt, Type::Int) => (self.b.slt(rv, lv), Type::Int),
+            (BinKind::Le, Type::Int) => (self.b.bin(BinOp::Sle, lv, rv), Type::Int),
+            (BinKind::Ge, Type::Int) => (self.b.bin(BinOp::Sle, rv, lv), Type::Int),
+            (BinKind::Eq, Type::Int) => (self.b.seq(lv, rv), Type::Int),
+            (BinKind::Ne, Type::Int) => (self.b.bin(BinOp::Sne, lv, rv), Type::Int),
+            (BinKind::Lt, Type::Float) => (self.b.bin(BinOp::FLt, lv, rv), Type::Int),
+            (BinKind::Gt, Type::Float) => (self.b.bin(BinOp::FLt, rv, lv), Type::Int),
+            (BinKind::Le, Type::Float) => (self.b.bin(BinOp::FLe, lv, rv), Type::Int),
+            (BinKind::Ge, Type::Float) => (self.b.bin(BinOp::FLe, rv, lv), Type::Int),
+            (BinKind::Eq, Type::Float) => (self.b.bin(BinOp::FEq, lv, rv), Type::Int),
+            (BinKind::Ne, Type::Float) => {
+                let eq = self.b.bin(BinOp::FEq, lv, rv);
+                let one = self.b.const_i32(1);
+                (self.b.bin(BinOp::Xor, eq, one), Type::Int)
+            }
+            (BinKind::And, Type::Int) => {
+                let zero = self.b.const_i32(0);
+                let ln = self.b.bin(BinOp::Sne, lv, zero);
+                let zero2 = self.b.const_i32(0);
+                let rn = self.b.bin(BinOp::Sne, rv, zero2);
+                (self.b.bin(BinOp::And, ln, rn), Type::Int)
+            }
+            (BinKind::Or, Type::Int) => {
+                let acc = self.b.bin(BinOp::Or, lv, rv);
+                let zero = self.b.const_i32(0);
+                (self.b.bin(BinOp::Sne, acc, zero), Type::Int)
+            }
+            (BinKind::And | BinKind::Or, Type::Float) => {
+                return Err(LangError::new(span, "logical operators require integers"))
+            }
+        };
+        Ok((result, out_ty))
+    }
+}
+
+fn expect(want: Type, got: Type, span: Span, what: &str) -> Result<(), LangError> {
+    if want == got {
+        Ok(())
+    } else {
+        Err(LangError::new(
+            span,
+            format!("{what}: expected {want:?}, found {got:?}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use raw_ir::interp::Interpreter;
+
+    fn lower_src(src: &str, n_tiles: u32) -> Result<Program, LangError> {
+        let k = parse("test", src)?;
+        lower_kernel(&k, n_tiles)
+    }
+
+    fn run(src: &str) -> raw_ir::interp::ExecResult {
+        let p = lower_src(src, 1).unwrap();
+        Interpreter::new(&p).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_assignment() {
+        let r = run("int x; int y = 4; x = y * 3 + 2;");
+        assert_eq!(r.vars[0], Imm::I(14));
+    }
+
+    #[test]
+    fn float_promotion_of_int_literals() {
+        let r = run("float x; x = 2 * 1.5 + 1;");
+        assert_eq!(r.vars[0], Imm::F(4.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(lower_src("int x; float y; x = y;", 1).is_err());
+        assert!(lower_src("float y; y = y % 2.0;", 1).is_err());
+        assert!(lower_src("int x; x = 1.5;", 1).is_err());
+    }
+
+    #[test]
+    fn while_loop_computes() {
+        let r = run("int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; }");
+        let p = lower_src(
+            "int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; }",
+            1,
+        )
+        .unwrap();
+        let s = p.var_by_name("s").unwrap();
+        assert_eq!(r.var_value(s), Imm::I(10));
+    }
+
+    #[test]
+    fn for_loop_with_arrays() {
+        let src = "int i; int A[8]; int s = 0;
+                   for (i = 0; i < 8; i = i + 1) A[i] = i * i;
+                   for (i = 0; i < 8; i = i + 1) s = s + A[i];";
+        let p = lower_src(src, 1).unwrap();
+        let r = Interpreter::new(&p).run().unwrap();
+        let s = p.var_by_name("s").unwrap();
+        assert_eq!(r.var_value(s), Imm::I(140));
+    }
+
+    #[test]
+    fn if_else_joins_through_home() {
+        let r = run("int x = 3; int y; if (x > 2) y = 10; else y = 20;");
+        assert_eq!(r.vars[1], Imm::I(10));
+    }
+
+    #[test]
+    fn intrinsics_lower() {
+        let r = run("float x; x = sqrt(abs(0.0 - 9.0));");
+        assert_eq!(r.vars[0], Imm::F(3.0));
+        let r = run("int x; x = toint(3.7);");
+        assert_eq!(r.vars[0], Imm::I(3));
+        let r = run("float x; x = tofloat(4) / 2.0;");
+        assert_eq!(r.vars[0], Imm::F(2.0));
+    }
+
+    #[test]
+    fn logic_normalizes_to_zero_one() {
+        let r = run("int a = 5; int b = 0; int x; int y; x = a && 3; y = b || 7;");
+        assert_eq!(r.vars[2], Imm::I(1));
+        assert_eq!(r.vars[3], Imm::I(1));
+    }
+
+    #[test]
+    fn static_home_annotated_in_loops() {
+        // Affine access with stride matching the machine: after unrolling by 4
+        // the loop steps by 4, so each syntactic access has a fixed residue.
+        let src = "int i; float A[16];
+                   for (i = 0; i < 16; i = i + 4) A[i + 1] = 1.0;";
+        let p = lower_src(src, 4).unwrap();
+        let mut homes = Vec::new();
+        for (_, block) in p.iter_blocks() {
+            for inst in &block.insts {
+                if let raw_ir::InstKind::Store { home, .. } = inst.kind {
+                    homes.push(home);
+                }
+            }
+        }
+        assert_eq!(homes, vec![MemHome::Static(1)]);
+    }
+
+    #[test]
+    fn non_affine_access_is_dynamic() {
+        let src = "int i = 3; int A[8]; int B[8]; B[A[i]] = 1;";
+        let p = lower_src(src, 4).unwrap();
+        let mut saw_dynamic = false;
+        for (_, block) in p.iter_blocks() {
+            for inst in &block.insts {
+                if let raw_ir::InstKind::Store { home, array, .. } = inst.kind {
+                    if p.array(array).name == "B" {
+                        saw_dynamic = home == MemHome::Dynamic;
+                    }
+                }
+            }
+        }
+        assert!(saw_dynamic);
+    }
+
+    #[test]
+    fn undeclared_names_rejected() {
+        assert!(lower_src("x = 1;", 1).is_err());
+        assert!(lower_src("int x; x = A[0];", 1).is_err());
+        assert!(lower_src("int i; for (j = 0; j < 2; j = j + 1) i = 0;", 1).is_err());
+    }
+
+    #[test]
+    fn constant_index_is_static_everywhere() {
+        let p = lower_src("float A[8]; A[5] = 2.0;", 4).unwrap();
+        for (_, block) in p.iter_blocks() {
+            for inst in &block.insts {
+                if let raw_ir::InstKind::Store { home, .. } = inst.kind {
+                    assert_eq!(home, MemHome::Static(1)); // 5 mod 4
+                }
+            }
+        }
+    }
+}

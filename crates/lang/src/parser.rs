@@ -1,0 +1,537 @@
+//! Recursive-descent parser for the mini-C kernel language.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! kernel   := decl* stmt*
+//! decl     := type ident ('=' literal)? ';'
+//!           | type ident ('[' int ']')+ ';'
+//! stmt     := lvalue '=' expr ';'
+//!           | 'for' '(' ident '=' expr ';' ident ('<'|'<=') expr ';'
+//!                       ident '=' ident '+' expr ')' block-or-stmt
+//!           | 'while' '(' expr ')' block-or-stmt
+//!           | 'if' '(' expr ')' block-or-stmt ('else' block-or-stmt)?
+//! expr     := or ; or := and ('||' and)* ; and := cmp ('&&' cmp)*
+//! cmp      := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//! add      := mul (('+'|'-') mul)* ; mul := unary (('*'|'/'|'%') unary)*
+//! unary    := ('-'|'!') unary | primary
+//! primary  := literal | ident | ident '[' expr ']'+ | intrinsic '(' expr ')'
+//!           | '(' expr ')'
+//! ```
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::token::{lex, Tok, Token};
+
+/// Parses a kernel from source text.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its position.
+pub fn parse(name: &str, source: &str) -> Result<Kernel, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.kernel(name)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok, what: &str) -> Result<Span, LangError> {
+        if self.peek() == want {
+            Ok(self.next().span)
+        } else {
+            Err(LangError::new(
+                self.span(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.next().span;
+                Ok((name, span))
+            }
+            other => Err(LangError::new(
+                self.span(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn kernel(&mut self, name: &str) -> Result<Kernel, LangError> {
+        let mut kernel = Kernel {
+            name: name.to_string(),
+            ..Default::default()
+        };
+        // Declarations: a run of `int`/`float` headed items.
+        while matches!(self.peek(), Tok::KwInt | Tok::KwFloat) {
+            let ty = match self.next().tok {
+                Tok::KwInt => Type::Int,
+                Tok::KwFloat => Type::Float,
+                _ => unreachable!(),
+            };
+            let (ident, span) = self.ident()?;
+            if *self.peek() == Tok::LBracket {
+                let mut dims = Vec::new();
+                while *self.peek() == Tok::LBracket {
+                    self.next();
+                    match self.next().tok {
+                        Tok::Int(d) if d > 0 => dims.push(d as u32),
+                        other => {
+                            return Err(LangError::new(
+                                span,
+                                format!("array dimension must be a positive integer, found {other:?}"),
+                            ))
+                        }
+                    }
+                    self.eat(&Tok::RBracket, "']'")?;
+                }
+                self.eat(&Tok::Semi, "';'")?;
+                kernel.arrays.push(ArrayDef {
+                    name: ident,
+                    ty,
+                    dims,
+                    span,
+                });
+            } else {
+                let init = if *self.peek() == Tok::Assign {
+                    self.next();
+                    Some(self.literal()?)
+                } else {
+                    None
+                };
+                self.eat(&Tok::Semi, "';'")?;
+                kernel.vars.push(VarDef {
+                    name: ident,
+                    ty,
+                    init,
+                    span,
+                });
+            }
+        }
+        // Statements until EOF.
+        while *self.peek() != Tok::Eof {
+            kernel.stmts.push(self.stmt()?);
+        }
+        Ok(kernel)
+    }
+
+    fn literal(&mut self) -> Result<Literal, LangError> {
+        let negative = if *self.peek() == Tok::Minus {
+            self.next();
+            true
+        } else {
+            false
+        };
+        match self.next().tok {
+            Tok::Int(v) => Ok(Literal::Int(if negative { -v } else { v })),
+            Tok::Float(v) => Ok(Literal::Float(if negative { -v } else { v })),
+            other => Err(LangError::new(
+                self.span(),
+                format!("expected literal, found {other:?}"),
+            )),
+        }
+    }
+
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, LangError> {
+        if *self.peek() == Tok::LBrace {
+            self.next();
+            let mut stmts = Vec::new();
+            while *self.peek() != Tok::RBrace {
+                if *self.peek() == Tok::Eof {
+                    return Err(LangError::new(self.span(), "unterminated block"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.next();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().clone() {
+            Tok::KwFor => self.for_stmt(),
+            Tok::KwWhile => {
+                self.next();
+                self.eat(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen, "')'")?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwIf => {
+                self.next();
+                self.eat(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen, "')'")?;
+                let then = self.block_or_stmt()?;
+                let els = if *self.peek() == Tok::KwElse {
+                    self.next();
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::Ident(_) => {
+                let target = self.lvalue()?;
+                self.eat(&Tok::Assign, "'='")?;
+                let value = self.expr()?;
+                self.eat(&Tok::Semi, "';'")?;
+                Ok(Stmt::Assign { target, value })
+            }
+            other => Err(LangError::new(
+                self.span(),
+                format!("expected statement, found {other:?}"),
+            )),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        self.next(); // for
+        self.eat(&Tok::LParen, "'('")?;
+        let (var, _) = self.ident()?;
+        self.eat(&Tok::Assign, "'='")?;
+        let init = self.expr()?;
+        self.eat(&Tok::Semi, "';'")?;
+        let (cvar, cspan) = self.ident()?;
+        if cvar != var {
+            return Err(LangError::new(
+                cspan,
+                format!("for-loop condition must test '{var}'"),
+            ));
+        }
+        let inclusive = match self.next().tok {
+            Tok::Lt => false,
+            Tok::Le => true,
+            other => {
+                return Err(LangError::new(
+                    cspan,
+                    format!("for-loop condition must be '<' or '<=', found {other:?}"),
+                ))
+            }
+        };
+        let bound = self.expr()?;
+        self.eat(&Tok::Semi, "';'")?;
+        let (ivar, ispan) = self.ident()?;
+        if ivar != var {
+            return Err(LangError::new(
+                ispan,
+                format!("for-loop increment must update '{var}'"),
+            ));
+        }
+        self.eat(&Tok::Assign, "'='")?;
+        let (ivar2, ispan2) = self.ident()?;
+        if ivar2 != var {
+            return Err(LangError::new(
+                ispan2,
+                format!("for-loop increment must have the form {var} = {var} + step"),
+            ));
+        }
+        self.eat(&Tok::Plus, "'+'")?;
+        let step = self.expr()?;
+        self.eat(&Tok::RParen, "')'")?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt::For {
+            var,
+            init,
+            bound,
+            inclusive,
+            step,
+            body,
+            span,
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, LangError> {
+        let (name, span) = self.ident()?;
+        if *self.peek() == Tok::LBracket {
+            let mut indices = Vec::new();
+            while *self.peek() == Tok::LBracket {
+                self.next();
+                indices.push(self.expr()?);
+                self.eat(&Tok::RBracket, "']'")?;
+            }
+            Ok(LValue::Index {
+                array: name,
+                indices,
+                span,
+            })
+        } else {
+            Ok(LValue::Var(name, span))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut l = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            let span = self.next().span;
+            let r = self.and_expr()?;
+            l = Expr::Bin {
+                op: BinKind::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut l = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            let span = self.next().span;
+            let r = self.cmp_expr()?;
+            l = Expr::Bin {
+                op: BinKind::And,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinKind::Eq,
+            Tok::Ne => BinKind::Ne,
+            Tok::Lt => BinKind::Lt,
+            Tok::Le => BinKind::Le,
+            Tok::Gt => BinKind::Gt,
+            Tok::Ge => BinKind::Ge,
+            _ => return Ok(l),
+        };
+        let span = self.next().span;
+        let r = self.add_expr()?;
+        Ok(Expr::Bin {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinKind::Add,
+                Tok::Minus => BinKind::Sub,
+                _ => return Ok(l),
+            };
+            let span = self.next().span;
+            let r = self.mul_expr()?;
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinKind::Mul,
+                Tok::Slash => BinKind::Div,
+                Tok::Percent => BinKind::Rem,
+                _ => return Ok(l),
+            };
+            let span = self.next().span;
+            let r = self.unary_expr()?;
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            Tok::Minus => {
+                let span = self.next().span;
+                let e = self.unary_expr()?;
+                Ok(Expr::Un {
+                    op: UnKind::Neg,
+                    e: Box::new(e),
+                    span,
+                })
+            }
+            Tok::Bang => {
+                let span = self.next().span;
+                let e = self.unary_expr()?;
+                Ok(Expr::Un {
+                    op: UnKind::Not,
+                    e: Box::new(e),
+                    span,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::Lit(Literal::Int(v), span))
+            }
+            Tok::Float(v) => {
+                self.next();
+                Ok(Expr::Lit(Literal::Float(v), span))
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.next();
+                if *self.peek() == Tok::LParen {
+                    let f = Intrinsic::by_name(&name).ok_or_else(|| {
+                        LangError::new(span, format!("unknown intrinsic '{name}'"))
+                    })?;
+                    self.next();
+                    let arg = self.expr()?;
+                    self.eat(&Tok::RParen, "')'")?;
+                    Ok(Expr::Call {
+                        f,
+                        arg: Box::new(arg),
+                        span,
+                    })
+                } else if *self.peek() == Tok::LBracket {
+                    let mut indices = Vec::new();
+                    while *self.peek() == Tok::LBracket {
+                        self.next();
+                        indices.push(self.expr()?);
+                        self.eat(&Tok::RBracket, "']'")?;
+                    }
+                    Ok(Expr::Index {
+                        array: name,
+                        indices,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => Err(LangError::new(
+                span,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let k = parse("t", "int x = 3; float y; float A[4][8];").unwrap();
+        assert_eq!(k.vars.len(), 2);
+        assert_eq!(k.vars[0].init, Some(Literal::Int(3)));
+        assert_eq!(k.arrays[0].dims, vec![4, 8]);
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let k = parse(
+            "t",
+            "int i; float A[8]; for (i = 0; i < 8; i = i + 1) A[i] = 1.0;",
+        )
+        .unwrap();
+        match &k.stmts[0] {
+            Stmt::For {
+                var,
+                inclusive,
+                body,
+                ..
+            } => {
+                assert_eq!(var, "i");
+                assert!(!inclusive);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_and_while() {
+        let k = parse(
+            "t",
+            "int x = 0; while (x < 10) { if (x == 5) x = x + 2; else x = x + 1; }",
+        )
+        .unwrap();
+        assert_eq!(k.stmts.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let k = parse("t", "int x; x = 1 + 2 * 3;").unwrap();
+        match &k.stmts[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin { op: BinKind::Add, r, .. } => {
+                    assert!(matches!(**r, Expr::Bin { op: BinKind::Mul, .. }));
+                }
+                other => panic!("bad tree {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_intrinsics_and_negation() {
+        let k = parse("t", "float y; y = sqrt(abs(-y));").unwrap();
+        assert_eq!(k.stmts.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_for() {
+        assert!(parse("t", "int i; for (i = 0; j < 8; i = i + 1) i = 0;").is_err());
+        assert!(parse("t", "int i; for (i = 0; i < 8; j = j + 1) i = 0;").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_call() {
+        assert!(parse("t", "float y; y = frobnicate(y);").is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Tokens and the lexer for the mini-C frontend.
+
+use crate::error::{LangError, Span};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.`).
+    Float(f32),
+    /// Identifier or keyword payload.
+    Ident(String),
+    /// `int` keyword.
+    KwInt,
+    /// `float` keyword.
+    KwFloat,
+    /// `for` keyword.
+    KwFor,
+    /// `while` keyword.
+    KwWhile,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Lexes source text into tokens (always ends with [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on malformed numbers or unexpected characters.
+/// `//` line comments and `/* */` block comments are skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let span = Span { line, col };
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LangError::new(span, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !is_float))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    bump!();
+                }
+                let text = &source[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        LangError::new(span, format!("bad float literal '{text}'"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        LangError::new(span, format!("bad integer literal '{text}'"))
+                    })?)
+                };
+                tokens.push(Token { tok, span });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &source[start..i];
+                let tok = match text {
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    "for" => Tok::KwFor,
+                    "while" => Tok::KwWhile,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                tokens.push(Token { tok, span });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b';' => (Tok::Semi, 1),
+                        b',' => (Tok::Comma, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'!' => (Tok::Bang, 1),
+                        other => {
+                            return Err(LangError::new(
+                                span,
+                                format!("unexpected character '{}'", other as char),
+                            ))
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                tokens.push(Token { tok, span });
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_operators() {
+        assert_eq!(
+            toks("x <= 1.5 && y != 2"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Le,
+                Tok::Float(1.5),
+                Tok::AndAnd,
+                Tok::Ident("y".into()),
+                Tok::Ne,
+                Tok::Int(2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = lex("x\n  y").unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, col: 1 });
+        assert_eq!(tokens[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x # y").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

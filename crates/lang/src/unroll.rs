@@ -1,0 +1,937 @@
+//! AST-level loop unrolling (paper §3.2 "basic block identifier … augmented
+//! with loop unrolling", and §5.3's affine staticizing transformation).
+//!
+//! Two forces determine the unroll factor of a `for` loop:
+//!
+//! 1. **Staticizing**: array accesses whose indices are affine in the loop
+//!    variable touch home tiles in a repeating pattern; unrolling by the lcm of
+//!    the repetition distances makes every unrolled access reference a fixed
+//!    home tile (the *static reference property*). The per-loop factor always
+//!    divides the tile count.
+//! 2. **ILP exposure**: larger basic blocks expose more parallelism to the
+//!    orchestrater, so innermost loops are unrolled up to the configured ILP
+//!    factor even beyond what staticizing needs.
+//!
+//! When the trip count is not divisible by the unroll factor, the remainder is
+//! peeled into a fully unrolled epilogue whose induction values are literals —
+//! keeping even the tail iterations statically analyzable.
+
+use crate::ast::{Expr, Kernel, LValue, Literal, Stmt};
+use raw_ir::affine::{lcm, unroll_factor};
+
+/// Unrolling configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnrollOptions {
+    /// Target unroll factor for innermost loops (ILP exposure). The effective
+    /// factor is `lcm(static factor, ilp_factor)` capped by the trip count.
+    pub ilp_factor: u32,
+    /// Rewrite runs of `s = s + e_k` accumulations produced by unrolling into
+    /// balanced reduction trees, exposing the parallelism of dot products and
+    /// similar reductions. (Changes FP rounding, like any reassociation.)
+    pub reassociate: bool,
+}
+
+impl UnrollOptions {
+    /// The default policy used for an `n_tiles` machine: innermost loops are
+    /// unrolled `n_tiles`-way (1 ⇒ no ILP unrolling, as for the baseline) and
+    /// unrolled reductions are reassociated.
+    pub fn for_tiles(n_tiles: u32) -> Self {
+        let ilp = (n_tiles * 2).clamp(1, 64);
+        UnrollOptions {
+            ilp_factor: if n_tiles > 1 { ilp } else { 1 },
+            reassociate: n_tiles > 1,
+        }
+    }
+}
+
+/// Unrolls every eligible `for` loop in the kernel.
+pub fn unroll_kernel(kernel: &Kernel, n_tiles: u32, options: UnrollOptions) -> Kernel {
+    let mut out = kernel.clone();
+    let ctx = Ctx {
+        kernel,
+        n_tiles,
+        options,
+    };
+    out.stmts = ctx.unroll_stmts(&kernel.stmts);
+    if options.reassociate {
+        out.stmts = reassociate_stmts(out.stmts);
+    }
+    out
+}
+
+/// Rewrites maximal runs of same-variable accumulations
+/// (`s = s ⊕ e_0; s = s ⊕ e_1; …`, `⊕` a fixed `+` or `-`, `e_k` independent
+/// of `s`) into one assignment against a balanced tree of the terms.
+fn reassociate_stmts(stmts: Vec<Stmt>) -> Vec<Stmt> {
+    use crate::ast::BinKind::{Add, Sub};
+    // First recurse into nested bodies.
+    let stmts: Vec<Stmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            Stmt::If { cond, then, els } => Stmt::If {
+                cond,
+                then: reassociate_stmts(then),
+                els: reassociate_stmts(els),
+            },
+            Stmt::While { cond, body } => Stmt::While {
+                cond,
+                body: reassociate_stmts(body),
+            },
+            Stmt::For {
+                var,
+                init,
+                bound,
+                inclusive,
+                step,
+                body,
+                span,
+            } => Stmt::For {
+                var,
+                init,
+                bound,
+                inclusive,
+                step,
+                body: reassociate_stmts(body),
+                span,
+            },
+            other => other,
+        })
+        .collect();
+
+    // `s = s ⊕ e` pattern match.
+    let accum = |s: &Stmt| -> Option<(String, crate::ast::BinKind, Expr)> {
+        let Stmt::Assign {
+            target: LValue::Var(name, _),
+            value: Expr::Bin { op, l, r, .. },
+        } = s
+        else {
+            return None;
+        };
+        if *op != Add && *op != Sub {
+            return None;
+        }
+        match &**l {
+            Expr::Var(v, _) if v == name && !mentions(r, name) => {
+                Some((name.clone(), *op, (**r).clone()))
+            }
+            _ if *op == Add => match &**r {
+                Expr::Var(v, _) if v == name && !mentions(l, name) => {
+                    Some((name.clone(), *op, (**l).clone()))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    let mut i = 0;
+    while i < stmts.len() {
+        if let Some((name, op, first)) = accum(&stmts[i]) {
+            let mut terms = vec![first];
+            let mut j = i + 1;
+            while j < stmts.len() {
+                match accum(&stmts[j]) {
+                    Some((n2, op2, e)) if n2 == name && op2 == op => {
+                        terms.push(e);
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if terms.len() >= 3 {
+                let span = stmts[i].clone();
+                let span = match &span {
+                    Stmt::Assign { target, .. } => target.span(),
+                    _ => unreachable!(),
+                };
+                let tree = balanced_tree(&terms, span);
+                out.push(Stmt::Assign {
+                    target: LValue::Var(name.clone(), span),
+                    value: Expr::Bin {
+                        op,
+                        l: Box::new(Expr::Var(name, span)),
+                        r: Box::new(tree),
+                        span,
+                    },
+                });
+                i = j;
+                continue;
+            }
+        }
+        out.push(stmts[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn balanced_tree(terms: &[Expr], span: crate::error::Span) -> Expr {
+    if terms.len() == 1 {
+        return terms[0].clone();
+    }
+    let mid = terms.len() / 2;
+    Expr::Bin {
+        op: crate::ast::BinKind::Add,
+        l: Box::new(balanced_tree(&terms[..mid], span)),
+        r: Box::new(balanced_tree(&terms[mid..], span)),
+        span,
+    }
+}
+
+struct Ctx<'k> {
+    kernel: &'k Kernel,
+    n_tiles: u32,
+    options: UnrollOptions,
+}
+
+impl Ctx<'_> {
+    fn unroll_stmts(&self, stmts: &[Stmt]) -> Vec<Stmt> {
+        stmts.iter().flat_map(|s| self.unroll_stmt(s)).collect()
+    }
+
+    fn unroll_stmt(&self, stmt: &Stmt) -> Vec<Stmt> {
+        match stmt {
+            Stmt::Assign { .. } => vec![stmt.clone()],
+            Stmt::If { cond, then, els } => vec![Stmt::If {
+                cond: cond.clone(),
+                then: self.unroll_stmts(then),
+                els: self.unroll_stmts(els),
+            }],
+            Stmt::While { cond, body } => vec![Stmt::While {
+                cond: cond.clone(),
+                body: self.unroll_stmts(body),
+            }],
+            Stmt::For {
+                var,
+                init,
+                bound,
+                inclusive,
+                step,
+                body,
+                span,
+            } => {
+                // Innermost-ness is judged on the ORIGINAL nest: a fully
+                // peeled inner loop must not promote its parent to
+                // "innermost" (that would cascade into one giant block).
+                let originally_innermost = !contains_for(body);
+                // Unroll bottom-up: inner loops first.
+                let body = self.unroll_stmts(body);
+                let fallback = |body: Vec<Stmt>| {
+                    vec![Stmt::For {
+                        var: var.clone(),
+                        init: init.clone(),
+                        bound: bound.clone(),
+                        inclusive: *inclusive,
+                        step: step.clone(),
+                        body,
+                        span: *span,
+                    }]
+                };
+
+                let Some(step_c) = const_eval(step) else {
+                    return fallback(body);
+                };
+                if step_c <= 0 || assigns_var(&body, var) {
+                    return fallback(body);
+                }
+
+                // Factor needed to staticize the affine accesses.
+                let strides = collect_strides(self.kernel, &body, var)
+                    .into_iter()
+                    .map(|a| a * step_c);
+                let u_static = unroll_factor(strides, self.n_tiles);
+                let is_innermost = originally_innermost;
+                // Bodies with internal control flow gain nothing from extra
+                // unrolling (blocks are split at every branch anyway) and the
+                // replication only raises register pressure.
+                let ilp = if contains_branchy(&body) {
+                    self.options.ilp_factor.min(self.n_tiles.max(1))
+                } else {
+                    self.options.ilp_factor
+                };
+                let mut u = if is_innermost {
+                    lcm(u_static as u64, ilp as u64) as u32
+                } else {
+                    u_static
+                };
+
+                let (Some(init_c), Some(bound_c)) = (const_eval(init), const_eval(bound))
+                else {
+                    // Unknown trip count: unrolling can't preserve it exactly.
+                    return fallback(body);
+                };
+                let upper = if *inclusive { bound_c + 1 } else { bound_c };
+                let trip = ((upper - init_c).max(0) + step_c - 1) / step_c;
+
+                // Triangular nests: if an inner loop's bounds depend on this
+                // variable, only fully peeling this loop makes the inner loop
+                // analyzable (constant bounds). Peel when the expansion is
+                // reasonable.
+                let triangular = inner_bounds_mention(&body, var) && trip <= PEEL_LIMIT;
+                if triangular {
+                    u = trip.max(1) as u32;
+                }
+
+                u = u.min(trip.max(1) as u32);
+                if u <= 1 && trip > 1 {
+                    return fallback(body);
+                }
+
+                let mut out = Vec::new();
+                // A main loop that would run only once is fully peeled instead.
+                let main_loop_trips = trip / u as i64;
+                let main_iters = if main_loop_trips <= 1 {
+                    0
+                } else {
+                    main_loop_trips * u as i64
+                };
+                if main_iters > 0 {
+                    let mut unrolled = Vec::new();
+                    for k in 0..u as i64 {
+                        let replacement = if k == 0 {
+                            Expr::Var(var.clone(), *span)
+                        } else {
+                            Expr::Bin {
+                                op: crate::ast::BinKind::Add,
+                                l: Box::new(Expr::Var(var.clone(), *span)),
+                                r: Box::new(Expr::Lit(Literal::Int(k * step_c), *span)),
+                                span: *span,
+                            }
+                        };
+                        unrolled.extend(subst_stmts(&body, var, &replacement));
+                    }
+                    out.push(Stmt::For {
+                        var: var.clone(),
+                        init: Expr::Lit(Literal::Int(init_c), *span),
+                        bound: Expr::Lit(Literal::Int(init_c + main_iters * step_c), *span),
+                        inclusive: false,
+                        step: Expr::Lit(Literal::Int(u as i64 * step_c), *span),
+                        body: unrolled,
+                        span: *span,
+                    });
+                }
+                // Epilogue: peel the remaining iterations with literal values.
+                for r in main_iters..trip {
+                    let value = Expr::Lit(Literal::Int(init_c + r * step_c), *span);
+                    let peeled = subst_stmts(&body, var, &value);
+                    if triangular {
+                        // Inner loops now have constant bounds: unroll them too.
+                        out.extend(self.unroll_stmts(&peeled));
+                    } else {
+                        out.extend(peeled);
+                    }
+                }
+                // Leave the induction variable with its post-loop value.
+                let final_value = init_c + trip * step_c;
+                out.push(Stmt::Assign {
+                    target: LValue::Var(var.clone(), *span),
+                    value: Expr::Lit(Literal::Int(final_value), *span),
+                });
+                out
+            }
+        }
+    }
+}
+
+/// Constant-folds an integer expression.
+pub fn const_eval(e: &Expr) -> Option<i64> {
+    use crate::ast::BinKind::*;
+    match e {
+        Expr::Lit(Literal::Int(v), _) => Some(*v),
+        Expr::Bin { op, l, r, .. } => {
+            let (a, b) = (const_eval(l)?, const_eval(r)?);
+            match op {
+                Add => Some(a + b),
+                Sub => Some(a - b),
+                Mul => Some(a * b),
+                Div => (b != 0).then(|| a / b),
+                Rem => (b != 0).then(|| a % b),
+                _ => None,
+            }
+        }
+        Expr::Un {
+            op: crate::ast::UnKind::Neg,
+            e,
+            ..
+        } => Some(-const_eval(e)?),
+        _ => None,
+    }
+}
+
+/// The coefficient of `var` in `e`, if `e` is affine in `var`
+/// (sub-expressions not involving `var` may be arbitrary).
+pub fn affine_coeff(e: &Expr, var: &str) -> Option<i64> {
+    use crate::ast::BinKind::*;
+    match e {
+        Expr::Lit(..) => Some(0),
+        Expr::Var(name, _) => Some(if name == var { 1 } else { 0 }),
+        Expr::Bin { op, l, r, .. } => {
+            let (cl, cr) = (affine_coeff(l, var)?, affine_coeff(r, var)?);
+            match op {
+                Add => Some(cl + cr),
+                Sub => Some(cl - cr),
+                Mul => {
+                    if cl != 0 && cr != 0 {
+                        None
+                    } else if cl != 0 {
+                        Some(cl * const_eval(r)?)
+                    } else if cr != 0 {
+                        Some(cr * const_eval(l)?)
+                    } else {
+                        Some(0)
+                    }
+                }
+                Div | Rem => {
+                    if cl == 0 && cr == 0 {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+                _ => {
+                    if cl == 0 && cr == 0 {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        Expr::Un {
+            op: crate::ast::UnKind::Neg,
+            e,
+            ..
+        } => Some(-affine_coeff(e, var)?),
+        Expr::Un { e, .. } => {
+            if affine_coeff(e, var)? == 0 {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        Expr::Index { indices, .. } => {
+            if indices
+                .iter()
+                .all(|i| affine_coeff(i, var) == Some(0) || !mentions(i, var))
+            {
+                if indices.iter().any(|i| mentions(i, var)) {
+                    None
+                } else {
+                    Some(0)
+                }
+            } else {
+                None
+            }
+        }
+        Expr::Call { arg, .. } => {
+            if mentions(arg, var) {
+                None
+            } else {
+                Some(0)
+            }
+        }
+    }
+}
+
+fn mentions(e: &Expr, var: &str) -> bool {
+    match e {
+        Expr::Lit(..) => false,
+        Expr::Var(name, _) => name == var,
+        Expr::Bin { l, r, .. } => mentions(l, var) || mentions(r, var),
+        Expr::Un { e, .. } => mentions(e, var),
+        Expr::Index { indices, .. } => indices.iter().any(|i| mentions(i, var)),
+        Expr::Call { arg, .. } => mentions(arg, var),
+    }
+}
+
+/// Linearized affine strides (in elements) of every array access in `stmts`
+/// with respect to `var`.
+fn collect_strides(kernel: &Kernel, stmts: &[Stmt], var: &str) -> Vec<i64> {
+    let mut strides = Vec::new();
+    let dims_of = |array: &str| -> Option<Vec<u32>> {
+        kernel
+            .arrays
+            .iter()
+            .find(|a| a.name == array)
+            .map(|a| a.dims.clone())
+    };
+    let mut on_access = |array: &str, indices: &[Expr]| {
+        let Some(dims) = dims_of(array) else { return };
+        let mut stride = 0i64;
+        let mut mult = 1i64;
+        // Row-major: last index has multiplier 1.
+        for (idx, dim) in indices.iter().zip(&dims).rev() {
+            match affine_coeff(idx, var) {
+                Some(c) => stride += c * mult,
+                None => return, // not staticizable via unrolling
+            }
+            mult *= *dim as i64;
+        }
+        if stride != 0 {
+            strides.push(stride);
+        }
+    };
+    visit_accesses(stmts, &mut on_access);
+    strides
+}
+
+fn visit_accesses(stmts: &[Stmt], f: &mut dyn FnMut(&str, &[Expr])) {
+    fn expr(e: &Expr, f: &mut dyn FnMut(&str, &[Expr])) {
+        match e {
+            Expr::Index { array, indices, .. } => {
+                f(array, indices);
+                for i in indices {
+                    expr(i, f);
+                }
+            }
+            Expr::Bin { l, r, .. } => {
+                expr(l, f);
+                expr(r, f);
+            }
+            Expr::Un { e, .. } => expr(e, f),
+            Expr::Call { arg, .. } => expr(arg, f),
+            Expr::Lit(..) | Expr::Var(..) => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                if let LValue::Index { array, indices, .. } = target {
+                    f(array, indices);
+                    for i in indices {
+                        expr(i, f);
+                    }
+                }
+                expr(value, f);
+            }
+            Stmt::If { cond, then, els } => {
+                expr(cond, f);
+                visit_accesses(then, f);
+                visit_accesses(els, f);
+            }
+            Stmt::While { cond, body } => {
+                expr(cond, f);
+                visit_accesses(body, f);
+            }
+            Stmt::For {
+                init, bound, body, ..
+            } => {
+                expr(init, f);
+                expr(bound, f);
+                visit_accesses(body, f);
+            }
+        }
+    }
+}
+
+fn assigns_var(stmts: &[Stmt], var: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign {
+            target: LValue::Var(name, _),
+            ..
+        } => name == var,
+        Stmt::Assign { .. } => false,
+        Stmt::If { then, els, .. } => assigns_var(then, var) || assigns_var(els, var),
+        Stmt::While { body, .. } => assigns_var(body, var),
+        Stmt::For {
+            var: inner, body, ..
+        } => inner == var || assigns_var(body, var),
+    })
+}
+
+/// Largest trip count an outer loop of a triangular nest is fully peeled at.
+const PEEL_LIMIT: i64 = 64;
+
+/// True if any `for` loop nested in `stmts` has an init/bound/step mentioning
+/// `var` (a triangular or trapezoidal nest).
+fn inner_bounds_mention(stmts: &[Stmt], var: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For {
+            init,
+            bound,
+            step,
+            body,
+            ..
+        } => {
+            mentions(init, var)
+                || mentions(bound, var)
+                || mentions(step, var)
+                || inner_bounds_mention(body, var)
+        }
+        Stmt::If { then, els, .. } => {
+            inner_bounds_mention(then, var) || inner_bounds_mention(els, var)
+        }
+        Stmt::While { body, .. } => inner_bounds_mention(body, var),
+        Stmt::Assign { .. } => false,
+    })
+}
+
+fn contains_branchy(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::If { .. } | Stmt::While { .. } => true,
+        Stmt::For { body, .. } => contains_branchy(body),
+        Stmt::Assign { .. } => false,
+    })
+}
+
+fn contains_for(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For { .. } => true,
+        Stmt::If { then, els, .. } => contains_for(then) || contains_for(els),
+        Stmt::While { body, .. } => contains_for(body),
+        Stmt::Assign { .. } => false,
+    })
+}
+
+fn subst_stmts(stmts: &[Stmt], var: &str, replacement: &Expr) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| subst_stmt(s, var, replacement))
+        .collect()
+}
+
+fn subst_stmt(stmt: &Stmt, var: &str, rep: &Expr) -> Stmt {
+    match stmt {
+        Stmt::Assign { target, value } => Stmt::Assign {
+            target: match target {
+                LValue::Var(name, span) => {
+                    debug_assert_ne!(name, var, "unroller never substitutes assigned vars");
+                    LValue::Var(name.clone(), *span)
+                }
+                LValue::Index {
+                    array,
+                    indices,
+                    span,
+                } => LValue::Index {
+                    array: array.clone(),
+                    indices: indices.iter().map(|i| subst_expr(i, var, rep)).collect(),
+                    span: *span,
+                },
+            },
+            value: subst_expr(value, var, rep),
+        },
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: subst_expr(cond, var, rep),
+            then: subst_stmts(then, var, rep),
+            els: subst_stmts(els, var, rep),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: subst_expr(cond, var, rep),
+            body: subst_stmts(body, var, rep),
+        },
+        Stmt::For {
+            var: inner,
+            init,
+            bound,
+            inclusive,
+            step,
+            body,
+            span,
+        } => Stmt::For {
+            var: inner.clone(),
+            init: subst_expr(init, var, rep),
+            bound: subst_expr(bound, var, rep),
+            inclusive: *inclusive,
+            step: subst_expr(step, var, rep),
+            body: if inner == var {
+                body.clone() // shadowed
+            } else {
+                subst_stmts(body, var, rep)
+            },
+            span: *span,
+        },
+    }
+}
+
+/// Substitutes the literal `0` for `var` in `e` (used to isolate the constant
+/// part of an affine index during home classification).
+pub(crate) fn subst_var_zero(e: &Expr, var: &str) -> Expr {
+    subst_expr(e, var, &Expr::Lit(Literal::Int(0), e.span()))
+}
+
+fn subst_expr(e: &Expr, var: &str, rep: &Expr) -> Expr {
+    match e {
+        Expr::Var(name, _) if name == var => rep.clone(),
+        Expr::Lit(..) | Expr::Var(..) => e.clone(),
+        Expr::Index {
+            array,
+            indices,
+            span,
+        } => Expr::Index {
+            array: array.clone(),
+            indices: indices.iter().map(|i| subst_expr(i, var, rep)).collect(),
+            span: *span,
+        },
+        Expr::Bin { op, l, r, span } => Expr::Bin {
+            op: *op,
+            l: Box::new(subst_expr(l, var, rep)),
+            r: Box::new(subst_expr(r, var, rep)),
+            span: *span,
+        },
+        Expr::Un { op, e, span } => Expr::Un {
+            op: *op,
+            e: Box::new(subst_expr(e, var, rep)),
+            span: *span,
+        },
+        Expr::Call { f, arg, span } => Expr::Call {
+            f: *f,
+            arg: Box::new(subst_expr(arg, var, rep)),
+            span: *span,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn unrolled(src: &str, n_tiles: u32) -> Kernel {
+        let k = parse("t", src).unwrap();
+        unroll_kernel(&k, n_tiles, UnrollOptions::for_tiles(n_tiles))
+    }
+
+    fn count_fors(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::For { body, .. } => 1 + count_fors(body),
+                Stmt::If { then, els, .. } => count_fors(then) + count_fors(els),
+                Stmt::While { body, .. } => count_fors(body),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn innermost_loop_unrolls_by_ilp_factor() {
+        // Default policy: innermost straight-line loops unroll 2N-way.
+        let k = unrolled(
+            "int i; float A[32]; for (i = 0; i < 32; i = i + 1) A[i] = 1.0;",
+            4,
+        );
+        match &k.stmts[0] {
+            Stmt::For { step, body, .. } => {
+                assert_eq!(const_eval(step), Some(8));
+                // 8 unrolled assignments inside.
+                assert_eq!(body.len(), 8);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+        // Final induction-variable fix-up.
+        assert!(matches!(
+            k.stmts.last(),
+            Some(Stmt::Assign { value: Expr::Lit(Literal::Int(32), _), .. })
+        ));
+    }
+
+    #[test]
+    fn remainder_is_peeled_with_literals() {
+        let k = unrolled(
+            "int i; float A[10]; for (i = 0; i < 10; i = i + 1) A[i] = 1.0;",
+            2,
+        );
+        // ILP factor 4 on 2 tiles: the main loop covers 8, epilogue peels 2.
+        match &k.stmts[0] {
+            Stmt::For { bound, .. } => assert_eq!(const_eval(bound), Some(8)),
+            other => panic!("{other:?}"),
+        }
+        // Two peeled assignments + final fix-up.
+        assert_eq!(k.stmts.len(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn paper_example_lcm_unroll() {
+        // A[i] and A[2i] on 4 tiles: distances 4 and 2 → the static factor is
+        // lcm(4, 2) = 4 (paper §5.3); combined with the ILP factor 8 the loop
+        // steps by 8.
+        let k = unrolled(
+            "int i; float A[64]; for (i = 0; i < 16; i = i + 1) A[i] = A[2*i];",
+            4,
+        );
+        match &k.stmts[0] {
+            Stmt::For { step, .. } => assert_eq!(const_eval(step), Some(8)),
+            other => panic!("{other:?}"),
+        }
+        // With ILP unrolling disabled, the pure staticizing factor shows.
+        let k2 = parse(
+            "t",
+            "int i; float A[64]; for (i = 0; i < 16; i = i + 1) A[i] = A[2*i];",
+        )
+        .unwrap();
+        let u = unroll_kernel(
+            &k2,
+            4,
+            UnrollOptions {
+                ilp_factor: 1,
+                reassociate: false,
+            },
+        );
+        match &u.stmts[0] {
+            Stmt::For { step, .. } => assert_eq!(const_eval(step), Some(4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn outer_loop_unrolls_only_for_staticizing() {
+        // A[i][j]: row-major with 8 columns → stride 8 over i. On 4 tiles the
+        // repetition distance of 8 mod 4 = 0 is 1, so the outer loop should
+        // stay rolled while the inner unrolls 4x.
+        let k = unrolled(
+            "int i; int j; float A[8][8];
+             for (i = 0; i < 8; i = i + 1)
+               for (j = 0; j < 8; j = j + 1)
+                 A[i][j] = 0.0;",
+            4,
+        );
+        match &k.stmts[0] {
+            Stmt::For { step, body, .. } => {
+                assert_eq!(const_eval(step), Some(1), "outer stays rolled");
+                // The inner loop (trip 8, ILP factor 8) is fully peeled.
+                assert_eq!(count_fors(body), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn outer_loop_unrolls_when_column_stride_demands_it() {
+        // A[j][i] walks a column: stride over i is 1 (inner index) — wait, the
+        // *outer* variable i appears as the last index → stride 1 over i, so
+        // the OUTER loop must unroll 4x to staticize (paper: "the affine
+        // function theory sometimes requires unrolling the outer loop").
+        let k = unrolled(
+            "int i; int j; float A[8][8];
+             for (i = 0; i < 8; i = i + 1)
+               for (j = 0; j < 8; j = j + 1)
+                 A[j][i] = 0.0;",
+            4,
+        );
+        match &k.stmts[0] {
+            Stmt::For { step, .. } => assert_eq!(const_eval(step), Some(4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trip_smaller_than_factor_fully_unrolls() {
+        let k = unrolled(
+            "int i; float A[4]; for (i = 0; i < 2; i = i + 1) A[i] = 1.0;",
+            8,
+        );
+        // Fully peeled: no for loop remains.
+        assert_eq!(count_fors(&k.stmts), 0);
+    }
+
+    #[test]
+    fn non_constant_bound_left_alone() {
+        let k = unrolled(
+            "int i; int n = 7; float A[8]; for (i = 0; i < n; i = i + 1) A[i] = 1.0;",
+            4,
+        );
+        assert_eq!(count_fors(&k.stmts), 1);
+    }
+
+    #[test]
+    fn affine_coeff_handles_composition() {
+        let k = parse(
+            "t",
+            "int i; int j; float A[8]; A[3*i + 2*j - 1] = 0.0;",
+        )
+        .unwrap();
+        let Stmt::Assign { target, .. } = &k.stmts[0] else {
+            unreachable!()
+        };
+        let LValue::Index { indices, .. } = target else {
+            unreachable!()
+        };
+        assert_eq!(affine_coeff(&indices[0], "i"), Some(3));
+        assert_eq!(affine_coeff(&indices[0], "j"), Some(2));
+        assert_eq!(affine_coeff(&indices[0], "k"), Some(0));
+    }
+
+    #[test]
+    fn non_affine_index_detected() {
+        let k = parse("t", "int i; float A[8]; A[i*i] = 0.0;").unwrap();
+        let Stmt::Assign { target, .. } = &k.stmts[0] else {
+            unreachable!()
+        };
+        let LValue::Index { indices, .. } = target else {
+            unreachable!()
+        };
+        assert_eq!(affine_coeff(&indices[0], "i"), None);
+    }
+
+    #[test]
+    fn triangular_nest_fully_peels() {
+        let k = unrolled(
+            "int j; int kx; float A[8][8]; float s = 0.0;
+             for (j = 0; j < 6; j = j + 1)
+               for (kx = 0; kx < j; kx = kx + 1)
+                 s = s + A[j][kx];",
+            4,
+        );
+        // All loops gone: outer peeled, inners unrolled/peeled with const bounds.
+        assert_eq!(count_fors(&k.stmts), 0);
+    }
+
+    #[test]
+    fn unrolled_reduction_is_reassociated() {
+        let k = unrolled(
+            "int i; float A[16]; float s = 0.0;
+             for (i = 0; i < 16; i = i + 1) s = s + A[i];",
+            4,
+        );
+        // The unrolled body should contain ONE accumulation into s per block,
+        // not four.
+        fn count_s_assigns(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign {
+                        target: LValue::Var(n, _),
+                        ..
+                    } if n == "s" => 1,
+                    Stmt::For { body, .. } => count_s_assigns(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        match &k.stmts[0] {
+            Stmt::For { body, .. } => assert_eq!(count_s_assigns(body), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reassociation_preserves_integer_semantics() {
+        use crate::lower::lower_kernel;
+        use raw_ir::interp::Interpreter;
+        let src = "int i; int A[16]; int s = 100;
+                   for (i = 0; i < 16; i = i + 1) A[i] = i;
+                   for (i = 0; i < 16; i = i + 1) s = s - A[i];";
+        let run = |n: u32| {
+            let k = parse("t", src).unwrap();
+            let u = unroll_kernel(&k, n, UnrollOptions::for_tiles(n));
+            let p = lower_kernel(&u, n).unwrap();
+            let r = Interpreter::new(&p).run().unwrap();
+            r.var_value(p.var_by_name("s").unwrap())
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), raw_ir::Imm::I(100 - 120));
+    }
+
+    #[test]
+    fn single_tile_means_no_unrolling() {
+        let k = unrolled(
+            "int i; float A[8]; for (i = 0; i < 8; i = i + 1) A[i] = 1.0;",
+            1,
+        );
+        assert_eq!(count_fors(&k.stmts), 1);
+        match &k.stmts[0] {
+            Stmt::For { step, .. } => assert_eq!(const_eval(step), Some(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

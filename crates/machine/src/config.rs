@@ -1,0 +1,282 @@
+//! Machine configuration: mesh shape, register counts, and latency model.
+
+use crate::isa::{AluOp, Dir, TileId};
+
+/// Which operation latencies the processors use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Table 1 of the paper: ADD 1, MUL 12, DIV 35, ADDF 2, MULF 4, DIVF 12, …
+    #[default]
+    Table1,
+    /// Every compute instruction takes one cycle (the paper's `1-cycle`
+    /// configuration in Figure 8; memory latency is unaffected).
+    Unit,
+}
+
+impl LatencyModel {
+    /// Latency of an ALU operation under this model.
+    pub fn alu_latency(self, op: AluOp) -> u32 {
+        match self {
+            LatencyModel::Table1 => op.table1_latency(),
+            LatencyModel::Unit => 1,
+        }
+    }
+}
+
+/// Static configuration of a simulated Raw machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Mesh rows.
+    pub rows: u32,
+    /// Mesh columns.
+    pub cols: u32,
+    /// General-purpose registers per processor (32 on the prototype; set very
+    /// large for the paper's `inf-reg` configuration).
+    pub gprs: u32,
+    /// Registers per switch (8 on the prototype).
+    pub switch_regs: u32,
+    /// Local memory (cache-hit) access latency in cycles (2 on the prototype).
+    pub mem_latency: u32,
+    /// Words of data memory per tile.
+    pub mem_words: u32,
+    /// Operation latency model.
+    pub latency: LatencyModel,
+    /// Static-network port FIFO depth in words.
+    pub port_capacity: usize,
+    /// Dynamic-network link FIFO depth in flits.
+    pub dyn_fifo: usize,
+    /// Simulation cycle budget before aborting.
+    pub step_limit: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::grid(4, 4)
+    }
+}
+
+impl MachineConfig {
+    /// A `rows × cols` machine with prototype defaults.
+    pub fn grid(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh must be non-empty");
+        MachineConfig {
+            rows,
+            cols,
+            gprs: 32,
+            switch_regs: 8,
+            mem_latency: 2,
+            mem_words: 1 << 16,
+            latency: LatencyModel::Table1,
+            port_capacity: 4,
+            dyn_fifo: 4,
+            step_limit: 4_000_000_000,
+        }
+    }
+
+    /// A machine with `n` tiles in the most nearly square power-of-two mesh
+    /// (the shapes used for the paper's N = 1, 2, 4, 8, 16, 32 experiments:
+    /// 1×1, 1×2, 2×2, 2×4, 4×4, 4×8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two (low-order interleaving requires it).
+    pub fn square(n: u32) -> Self {
+        assert!(n.is_power_of_two(), "tile count must be a power of two");
+        let log = n.trailing_zeros();
+        let rows = 1 << (log / 2);
+        let cols = n / rows;
+        MachineConfig::grid(rows, cols)
+    }
+
+    /// The paper's `inf-reg` variant: effectively unlimited registers.
+    pub fn with_infinite_registers(mut self) -> Self {
+        self.gprs = 1 << 16;
+        self
+    }
+
+    /// The paper's `1-cycle` variant: all compute ops take one cycle.
+    pub fn with_unit_latency(mut self) -> Self {
+        self.latency = LatencyModel::Unit;
+        self
+    }
+
+    /// Number of tiles.
+    pub fn n_tiles(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// `(row, col)` of a tile.
+    pub fn coords(&self, t: TileId) -> (u32, u32) {
+        (t.0 / self.cols, t.0 % self.cols)
+    }
+
+    /// Tile at `(row, col)`.
+    pub fn tile_at(&self, row: u32, col: u32) -> TileId {
+        debug_assert!(row < self.rows && col < self.cols);
+        TileId(row * self.cols + col)
+    }
+
+    /// The neighbouring tile in `dir`, if it exists.
+    pub fn neighbor(&self, t: TileId, dir: Dir) -> Option<TileId> {
+        let (r, c) = self.coords(t);
+        let (nr, nc) = match dir {
+            Dir::North => (r.checked_sub(1)?, c),
+            Dir::South => (r + 1, c),
+            Dir::West => (r, c.checked_sub(1)?),
+            Dir::East => (r, c + 1),
+        };
+        if nr < self.rows && nc < self.cols {
+            Some(self.tile_at(nr, nc))
+        } else {
+            None
+        }
+    }
+
+    /// Manhattan distance between two tiles in hops.
+    pub fn hops(&self, a: TileId, b: TileId) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// The dimension-ordered (X-then-Y) route from `a` to `b`, as a direction
+    /// sequence. Empty when `a == b`.
+    pub fn xy_route(&self, a: TileId, b: TileId) -> Vec<Dir> {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        let mut route = Vec::new();
+        let (mut r, mut c) = (ar, ac);
+        while c != bc {
+            if c < bc {
+                route.push(Dir::East);
+                c += 1;
+            } else {
+                route.push(Dir::West);
+                c -= 1;
+            }
+        }
+        while r != br {
+            if r < br {
+                route.push(Dir::South);
+                r += 1;
+            } else {
+                route.push(Dir::North);
+                r -= 1;
+            }
+        }
+        route
+    }
+
+    /// Splits an interleaved global word address into `(home tile, local word)`.
+    ///
+    /// Low-order interleaving (paper §5.2 / Figure 7): the home tile occupies
+    /// the low-order bits.
+    pub fn split_gaddr(&self, gaddr: u32) -> (TileId, u32) {
+        let n = self.n_tiles();
+        debug_assert!(n.is_power_of_two());
+        (TileId(gaddr & (n - 1)), gaddr >> n.trailing_zeros())
+    }
+
+    /// Builds an interleaved global word address from home tile and local word.
+    pub fn make_gaddr(&self, home: TileId, local: u32) -> u32 {
+        let n = self.n_tiles();
+        (local << n.trailing_zeros()) | home.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_shapes_match_paper_sizes() {
+        let shapes: Vec<(u32, u32)> = [1, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&n| {
+                let c = MachineConfig::square(n);
+                (c.rows, c.cols)
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![(1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (4, 8)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        MachineConfig::square(12);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let c = MachineConfig::grid(3, 5);
+        for i in 0..15 {
+            let t = TileId(i);
+            let (r, col) = c.coords(t);
+            assert_eq!(c.tile_at(r, col), t);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_mesh_edges() {
+        let c = MachineConfig::grid(2, 2);
+        let t0 = TileId(0);
+        assert_eq!(c.neighbor(t0, Dir::North), None);
+        assert_eq!(c.neighbor(t0, Dir::West), None);
+        assert_eq!(c.neighbor(t0, Dir::East), Some(TileId(1)));
+        assert_eq!(c.neighbor(t0, Dir::South), Some(TileId(2)));
+        // Neighbor relation is symmetric via opposite direction.
+        for t in 0..4 {
+            for d in Dir::ALL {
+                if let Some(n) = c.neighbor(TileId(t), d) {
+                    assert_eq!(c.neighbor(n, d.opposite()), Some(TileId(t)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_route_is_x_first_and_correct_length() {
+        let c = MachineConfig::grid(4, 8);
+        let a = c.tile_at(3, 1);
+        let b = c.tile_at(0, 6);
+        let route = c.xy_route(a, b);
+        assert_eq!(route.len() as u32, c.hops(a, b));
+        // X (East/West) moves must all precede Y (North/South) moves.
+        let first_y = route
+            .iter()
+            .position(|d| matches!(d, Dir::North | Dir::South));
+        if let Some(fy) = first_y {
+            assert!(route[fy..]
+                .iter()
+                .all(|d| matches!(d, Dir::North | Dir::South)));
+        }
+        assert!(c.xy_route(a, a).is_empty());
+    }
+
+    #[test]
+    fn gaddr_round_trip() {
+        let c = MachineConfig::square(8);
+        for local in [0u32, 1, 100, 9999] {
+            for home in 0..8 {
+                let g = c.make_gaddr(TileId(home), local);
+                assert_eq!(c.split_gaddr(g), (TileId(home), local));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_variants() {
+        use raw_ir::BinOp;
+        let mul = AluOp::Bin(BinOp::Mul);
+        assert_eq!(LatencyModel::Table1.alu_latency(mul), 12);
+        assert_eq!(LatencyModel::Unit.alu_latency(mul), 1);
+        let cfg = MachineConfig::square(4)
+            .with_unit_latency()
+            .with_infinite_registers();
+        assert_eq!(cfg.latency, LatencyModel::Unit);
+        assert!(cfg.gprs > 1000);
+    }
+}

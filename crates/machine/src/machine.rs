@@ -1,0 +1,714 @@
+//! The whole-machine stepper: tiles, static network, dynamic network.
+//!
+//! [`Machine::step`] advances every component one cycle. Writes into
+//! static-network channels are staged and committed at cycle end, so results do
+//! not depend on the order components are stepped in. [`Machine::run`] steps to
+//! completion, detecting deadlock (a cycle with no progress while work remains
+//! is a fixpoint, hence a true deadlock — unless chaos stalls are enabled, in
+//! which case a long no-progress streak is required).
+
+use crate::channel::Channel;
+use crate::chaos::{Chaos, ChaosConfig};
+use crate::config::MachineConfig;
+use crate::dynnet::{DynEndpoint, DynNet, Handler};
+use crate::isa::{Dir, MachineProgram, SDst, SInst, SSrc, TileCode, TileId, Word};
+use crate::processor::{ProcOutcome, Processor};
+use crate::stats::Stats;
+use crate::switch::Switch;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No component can make progress but work remains.
+    Deadlock {
+        /// Cycle at which deadlock was declared.
+        cycle: u64,
+        /// Human-readable summary of the stuck components.
+        detail: String,
+    },
+    /// The configured cycle budget ran out.
+    StepLimitExceeded {
+        /// The exceeded limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "simulation exceeded step limit of {limit} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Summary of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Cycles until every component halted and the networks drained.
+    pub cycles: u64,
+    /// Execution counters.
+    pub stats: Stats,
+}
+
+/// A simulated Raw machine loaded with a program.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    code: Vec<TileCode>,
+    procs: Vec<Processor>,
+    switches: Vec<Switch>,
+    channels: Vec<Channel>,
+    /// Channel id: processor → switch, per tile.
+    ps: Vec<usize>,
+    /// Channel id: switch → processor, per tile.
+    sp: Vec<usize>,
+    /// Channel id: switch → neighbour switch, per tile per direction.
+    link_out: Vec<[Option<usize>; 4]>,
+    mems: Vec<Vec<Word>>,
+    dynnet: DynNet,
+    endpoints: Vec<DynEndpoint>,
+    handlers: Vec<Handler>,
+    cycle: u64,
+    stats: Stats,
+    chaos: Option<Chaos>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and loads `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not provide code for exactly
+    /// `config.n_tiles()` tiles.
+    pub fn new(config: MachineConfig, program: &MachineProgram) -> Self {
+        let n = config.n_tiles() as usize;
+        assert_eq!(
+            program.tiles.len(),
+            n,
+            "program must cover all {n} tiles"
+        );
+        let mut channels = Vec::new();
+        let alloc = |cap: usize, channels: &mut Vec<Channel>| {
+            channels.push(Channel::new(cap));
+            channels.len() - 1
+        };
+        let mut ps = Vec::with_capacity(n);
+        let mut sp = Vec::with_capacity(n);
+        for _ in 0..n {
+            ps.push(alloc(config.port_capacity, &mut channels));
+            sp.push(alloc(config.port_capacity, &mut channels));
+        }
+        let mut link_out = vec![[None; 4]; n];
+        for t in 0..n {
+            for dir in Dir::ALL {
+                if config.neighbor(TileId(t as u32), dir).is_some() {
+                    link_out[t][dir.index()] =
+                        Some(alloc(config.port_capacity, &mut channels));
+                }
+            }
+        }
+        let procs = (0..n).map(|t| Processor::new(t as u32, config.gprs)).collect();
+        let switches = (0..n).map(|_| Switch::new(config.switch_regs)).collect();
+        let mems = (0..n).map(|_| vec![0u32; config.mem_words as usize]).collect();
+        let dynnet = DynNet::new(config.rows, config.cols, config.dyn_fifo);
+        let endpoints = (0..n).map(|_| DynEndpoint::new(16)).collect();
+        let handlers = (0..n).map(|_| Handler::new()).collect();
+        Machine {
+            stats: Stats::new(n),
+            code: program.tiles.clone(),
+            procs,
+            switches,
+            channels,
+            ps,
+            sp,
+            link_out,
+            mems,
+            dynnet,
+            endpoints,
+            handlers,
+            cycle: 0,
+            chaos: None,
+            config,
+        }
+    }
+
+    /// Enables random stall injection (for static-ordering tests).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(Chaos::new(chaos));
+        self
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reads a word of a tile's local memory.
+    pub fn mem_word(&self, tile: TileId, addr: u32) -> Word {
+        self.mems[tile.index()][addr as usize]
+    }
+
+    /// Writes a word of a tile's local memory (used to preload data).
+    pub fn set_mem_word(&mut self, tile: TileId, addr: u32, value: Word) {
+        self.mems[tile.index()][addr as usize] = value;
+    }
+
+    /// Copies `words` into a tile's memory starting at `base`.
+    pub fn install_memory(&mut self, tile: TileId, base: u32, words: &[Word]) {
+        let mem = &mut self.mems[tile.index()];
+        mem[base as usize..base as usize + words.len()].copy_from_slice(words);
+    }
+
+    /// Reads a processor register (diagnostics).
+    pub fn proc_reg(&self, tile: TileId, reg: u16) -> Word {
+        self.procs[tile.index()].reg(reg)
+    }
+
+    /// The channel id of the incoming link at `t` from direction `dir`.
+    fn link_in(&self, t: usize, dir: Dir) -> Option<usize> {
+        let nb = self.config.neighbor(TileId(t as u32), dir)?;
+        self.link_out[nb.index()][dir.opposite().index()]
+    }
+
+    /// True when every processor and switch halted and all networks drained.
+    pub fn finished(&self) -> bool {
+        self.procs.iter().all(|p| p.halted())
+            && self.switches.iter().all(|s| s.halted())
+            && self.dynnet.is_idle()
+            && self.endpoints.iter().all(|e| e.is_idle())
+            && self.handlers.iter().all(|h| h.is_idle())
+    }
+
+    /// Advances the machine one cycle. Returns `true` if anything progressed.
+    pub fn step(&mut self) -> bool {
+        let n = self.config.n_tiles() as usize;
+        let mut progress = false;
+
+        // Processors.
+        for t in 0..n {
+            if let Some(chaos) = &mut self.chaos {
+                if chaos.stall() {
+                    continue;
+                }
+            }
+            let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
+            let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
+            let outcome = self.procs[t].step(
+                &self.code[t].proc,
+                self.cycle,
+                &self.config,
+                &mut self.mems[t],
+                pin,
+                pout,
+                &mut self.endpoints[t],
+            );
+            match outcome {
+                ProcOutcome::Progress => {
+                    self.stats.tiles[t].proc_insts += 1;
+                    progress = true;
+                }
+                ProcOutcome::Stalled(cause) => {
+                    self.stats.tiles[t].record_stall(cause);
+                    // A scoreboard stall — or a pending port write still
+                    // waiting out its producer's latency — is a *timed* wait
+                    // that resolves by itself: it is not a deadlock symptom,
+                    // so it counts as progress.
+                    if cause == crate::processor::StallCause::RegNotReady
+                        || self.procs[t].has_maturing_send(self.cycle)
+                    {
+                        progress = true;
+                    }
+                }
+                ProcOutcome::Halted => {}
+            }
+        }
+
+        // Switches.
+        for t in 0..n {
+            if let Some(chaos) = &mut self.chaos {
+                if chaos.stall() {
+                    continue;
+                }
+            }
+            if self.step_switch(t) {
+                progress = true;
+            }
+        }
+
+        // Dynamic network and handlers.
+        if self.dynnet.step(&mut self.endpoints) {
+            self.stats.dyn_active_cycles += 1;
+            progress = true;
+        }
+        for t in 0..n {
+            if self.handlers[t].step(
+                t as u32,
+                self.cycle,
+                self.config.mem_latency,
+                &mut self.mems[t],
+                &mut self.endpoints[t],
+            ) || !self.handlers[t].is_idle()
+            {
+                // An in-flight handler request is a timed wait, not deadlock.
+                progress = true;
+            }
+        }
+
+        // Commit staged channel writes.
+        for ch in &mut self.channels {
+            if ch.commit() {
+                self.stats.static_words += 1;
+                progress = true;
+            }
+        }
+
+        self.cycle += 1;
+        progress
+    }
+
+    fn step_switch(&mut self, t: usize) -> bool {
+        let code = std::mem::take(&mut self.code[t].switch);
+        let result = (|| {
+            let inst = match self.switches[t].fetch(&code) {
+                Some(i) => i.clone(),
+                None => return false,
+            };
+            match &inst {
+                SInst::Route(pairs) => {
+                    // Phase 1: readiness of all sources and destinations.
+                    for (src, _) in pairs {
+                        let ready = match src {
+                            SSrc::Dir(d) => match self.link_in(t, *d) {
+                                Some(id) => self.channels[id].can_read(),
+                                None => panic!(
+                                    "tile{t} switch routes from {d:?} but there is no neighbour"
+                                ),
+                            },
+                            SSrc::Proc => self.channels[self.ps[t]].can_read(),
+                            SSrc::Reg(_) => true,
+                        };
+                        if !ready {
+                            self.stats.tiles[t].switch_stalls += 1;
+                            return false;
+                        }
+                    }
+                    for (_, dst) in pairs {
+                        let ready = match dst {
+                            SDst::Dir(d) => match self.link_out[t][d.index()] {
+                                Some(id) => self.channels[id].can_write(),
+                                None => panic!(
+                                    "tile{t} switch routes to {d:?} but there is no neighbour"
+                                ),
+                            },
+                            SDst::Proc => self.channels[self.sp[t]].can_write(),
+                            SDst::Reg(_) => true,
+                        };
+                        if !ready {
+                            self.stats.tiles[t].switch_stalls += 1;
+                            return false;
+                        }
+                    }
+                    // Phase 2: consume each distinct source once, then fan out.
+                    let mut values: Vec<(SSrc, Word)> = Vec::with_capacity(pairs.len());
+                    for (src, _) in pairs {
+                        if values.iter().any(|(s, _)| s == src) {
+                            continue;
+                        }
+                        let v = match src {
+                            SSrc::Dir(d) => {
+                                let id = self.link_in(t, *d).unwrap();
+                                self.channels[id].read()
+                            }
+                            SSrc::Proc => self.channels[self.ps[t]].read(),
+                            SSrc::Reg(r) => self.switches[t].reg(*r),
+                        };
+                        values.push((*src, v));
+                    }
+                    for (src, dst) in pairs {
+                        let v = values.iter().find(|(s, _)| s == src).unwrap().1;
+                        match dst {
+                            SDst::Dir(d) => {
+                                let id = self.link_out[t][d.index()].unwrap();
+                                self.channels[id].write(v);
+                            }
+                            SDst::Proc => self.channels[self.sp[t]].write(v),
+                            SDst::Reg(r) => self.switches[t].set_reg(*r, v),
+                        }
+                    }
+                    self.switches[t].advance();
+                    self.stats.tiles[t].switch_routes += 1;
+                    true
+                }
+                other => {
+                    self.switches[t].exec_control(other);
+                    true
+                }
+            }
+        })();
+        self.code[t].switch = code;
+        result
+    }
+
+    /// Runs until completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if progress stops while work remains, or
+    /// [`SimError::StepLimitExceeded`] if the cycle budget runs out.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        // Without chaos, one no-progress cycle is a fixpoint (deadlock); with
+        // random stalls we require a long streak before declaring one.
+        let deadlock_streak = if self.chaos.is_some() { 100_000 } else { 2 };
+        let mut no_progress = 0u64;
+        while !self.finished() {
+            if self.cycle >= self.config.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.config.step_limit,
+                });
+            }
+            if self.step() {
+                no_progress = 0;
+            } else {
+                no_progress += 1;
+                if no_progress >= deadlock_streak {
+                    return Err(SimError::Deadlock {
+                        cycle: self.cycle,
+                        detail: self.deadlock_detail(),
+                    });
+                }
+            }
+        }
+        Ok(RunReport {
+            // The final counted cycle is the one in which the last component
+            // halted; trailing no-progress cycles are not charged.
+            cycles: self.cycle - no_progress,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Dumps a human-readable snapshot of every non-halted component and the
+    /// static-network channel occupancy (deadlock debugging).
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (t, p) in self.procs.iter().enumerate() {
+            if p.halted() {
+                continue;
+            }
+            let inst = self.code[t].proc.get(p.pc());
+            writeln!(s, "tile{t}.proc pc={} inst={:?}", p.pc(), inst).unwrap();
+        }
+        for (t, sw) in self.switches.iter().enumerate() {
+            if sw.halted() {
+                continue;
+            }
+            let inst = self.code[t].switch.get(sw.pc());
+            writeln!(s, "tile{t}.switch pc={} inst={:?}", sw.pc(), inst).unwrap();
+        }
+        for t in 0..self.config.n_tiles() as usize {
+            writeln!(
+                s,
+                "tile{t} ports: proc->sw={} sw->proc={}",
+                self.channels[self.ps[t]].len(),
+                self.channels[self.sp[t]].len()
+            )
+            .unwrap();
+            for dir in Dir::ALL {
+                if let Some(id) = self.link_out[t][dir.index()] {
+                    if self.channels[id].len() > 0 {
+                        writeln!(s, "  link tile{t}->{dir:?}: {} words", self.channels[id].len())
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut stuck = Vec::new();
+        for (t, p) in self.procs.iter().enumerate() {
+            if !p.halted() {
+                stuck.push(format!("tile{t}.proc@pc{}", p.pc()));
+            }
+        }
+        for (t, s) in self.switches.iter().enumerate() {
+            if !s.halted() {
+                stuck.push(format!("tile{t}.switch@pc{}", s.pc()));
+            }
+        }
+        if stuck.len() > 8 {
+            stuck.truncate(8);
+            stuck.push("…".into());
+        }
+        stuck.join(", ")
+    }
+}
+
+fn get_two_mut(v: &mut [Channel], a: usize, b: usize) -> (&mut Channel, &mut Channel) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{ProcAsm, SwitchAsm};
+    use crate::isa::{Dst, Src};
+    use raw_ir::{BinOp, Imm};
+
+    fn neighbor_message_program() -> MachineProgram {
+        // Figure 4: tile(0,0) computes x+y and sends; tile(0,1) receives and
+        // computes w + received. We mark completion by storing to memory.
+        let mut p0 = ProcAsm::new();
+        p0.bin(
+            BinOp::Add,
+            Dst::PortOut,
+            Src::Imm(Imm::I(30)),
+            Src::Imm(Imm::I(12)),
+        );
+        p0.halt();
+        let mut s0 = SwitchAsm::new();
+        s0.route(&[(SSrc::Proc, SDst::Dir(Dir::East))]);
+        s0.halt();
+
+        let mut s1 = SwitchAsm::new();
+        s1.route(&[(SSrc::Dir(Dir::West), SDst::Proc)]);
+        s1.halt();
+        let mut p1 = ProcAsm::new();
+        p1.bin(
+            BinOp::Add,
+            Dst::Reg(1),
+            Src::Imm(Imm::I(100)),
+            Src::PortIn,
+        );
+        p1.store_imm_addr(Src::Reg(1), 0);
+        p1.halt();
+
+        MachineProgram {
+            tiles: vec![
+                TileCode {
+                    proc: p0.finish(),
+                    switch: s0.finish(),
+                },
+                TileCode {
+                    proc: p1.finish(),
+                    switch: s1.finish(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure4_neighbor_message_latency() {
+        let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
+        // Step cycle by cycle and find the cycle in which tile 1's add issues.
+        // Send issues at cycle 0; the paper's cost model says the receive-side
+        // add executes at cycle 3 (4-cycle end-to-end latency).
+        let mut recv_cycle = None;
+        for _ in 0..20 {
+            let before = m.stats.tiles[1].proc_insts;
+            m.step();
+            if recv_cycle.is_none() && m.stats.tiles[1].proc_insts > before {
+                recv_cycle = Some(m.cycle - 1);
+            }
+            if m.finished() {
+                break;
+            }
+        }
+        assert_eq!(recv_cycle, Some(3), "receive-side add must issue at cycle 3");
+        assert_eq!(m.mem_word(TileId(1), 0), 142);
+    }
+
+    #[test]
+    fn run_reports_and_finishes() {
+        let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
+        let report = m.run().expect("completes");
+        assert!(report.cycles >= 4 && report.cycles < 20, "{}", report.cycles);
+        assert!(report.stats.static_words >= 3); // proc→sw, sw→sw, sw→proc
+        assert_eq!(m.mem_word(TileId(1), 0), 142);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Tile 0 processor reads from its port but nothing ever sends.
+        let mut p0 = ProcAsm::new();
+        p0.recv(Dst::Reg(1));
+        p0.halt();
+        let mut s0 = SwitchAsm::new();
+        s0.halt();
+        let program = MachineProgram {
+            tiles: vec![TileCode {
+                proc: p0.finish(),
+                switch: s0.finish(),
+            }],
+        };
+        let mut m = Machine::new(MachineConfig::grid(1, 1), &program);
+        match m.run() {
+            Err(SimError::Deadlock { detail, .. }) => {
+                assert!(detail.contains("tile0.proc"), "{detail}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicast_route_duplicates_word() {
+        // 1x3: middle tile's switch multicasts a word from the west to both
+        // its processor and the east neighbour.
+        let mut p0 = ProcAsm::new();
+        p0.send(Src::Imm(Imm::I(7)));
+        p0.halt();
+        let mut s0 = SwitchAsm::new();
+        s0.route_out(Dir::East);
+        s0.halt();
+
+        let mut s1 = SwitchAsm::new();
+        s1.route(&[
+            (SSrc::Dir(Dir::West), SDst::Proc),
+            (SSrc::Dir(Dir::West), SDst::Dir(Dir::East)),
+        ]);
+        s1.halt();
+        let mut p1 = ProcAsm::new();
+        p1.recv(Dst::Reg(1));
+        p1.store_imm_addr(Src::Reg(1), 0);
+        p1.halt();
+
+        let mut s2 = SwitchAsm::new();
+        s2.route_in(Dir::West);
+        s2.halt();
+        let mut p2 = ProcAsm::new();
+        p2.recv(Dst::Reg(1));
+        p2.store_imm_addr(Src::Reg(1), 0);
+        p2.halt();
+
+        let program = MachineProgram {
+            tiles: vec![
+                TileCode {
+                    proc: p0.finish(),
+                    switch: s0.finish(),
+                },
+                TileCode {
+                    proc: p1.finish(),
+                    switch: s1.finish(),
+                },
+                TileCode {
+                    proc: p2.finish(),
+                    switch: s2.finish(),
+                },
+            ],
+        };
+        let mut m = Machine::new(MachineConfig::grid(1, 3), &program);
+        m.run().expect("completes");
+        assert_eq!(m.mem_word(TileId(1), 0), 7);
+        assert_eq!(m.mem_word(TileId(2), 0), 7);
+    }
+
+    #[test]
+    fn dynamic_remote_load_round_trip() {
+        // 2 tiles. Tile 1's memory[5] = 1234 (preloaded). Tile 0 issues a
+        // DLoad of the global address for (tile 1, local 5) and stores the
+        // result locally.
+        let config = MachineConfig::grid(1, 2);
+        let gaddr = config.make_gaddr(TileId(1), 5);
+        let mut p0 = ProcAsm::new();
+        p0.dload(Dst::Reg(1), Src::Imm(Imm::I(gaddr as i32)));
+        p0.store_imm_addr(Src::Reg(1), 0);
+        p0.halt();
+        let mut s0 = SwitchAsm::new();
+        s0.halt();
+        let program = MachineProgram {
+            tiles: vec![
+                TileCode {
+                    proc: p0.finish(),
+                    switch: s0.finish(),
+                },
+                TileCode {
+                    proc: vec![crate::isa::PInst::Halt],
+                    switch: vec![SInst::Halt],
+                },
+            ],
+        };
+        let mut m = Machine::new(config, &program);
+        m.set_mem_word(TileId(1), 5, 1234);
+        m.run().expect("completes");
+        assert_eq!(m.mem_word(TileId(0), 0), 1234);
+    }
+
+    #[test]
+    fn dynamic_remote_store_round_trip() {
+        let config = MachineConfig::grid(2, 2);
+        let gaddr = config.make_gaddr(TileId(3), 9);
+        let mut p0 = ProcAsm::new();
+        p0.dstore(Src::Imm(Imm::I(gaddr as i32)), Src::Imm(Imm::I(4321)));
+        // The ack guarantees completion before halt.
+        p0.halt();
+        let mut tiles = vec![TileCode {
+            proc: p0.finish(),
+            switch: vec![SInst::Halt],
+        }];
+        for _ in 1..4 {
+            tiles.push(TileCode {
+                proc: vec![crate::isa::PInst::Halt],
+                switch: vec![SInst::Halt],
+            });
+        }
+        let mut m = Machine::new(config, &MachineProgram { tiles });
+        m.run().expect("completes");
+        assert_eq!(m.mem_word(TileId(3), 9), 4321);
+    }
+
+    #[test]
+    fn chaos_does_not_change_results() {
+        // The static ordering property (Appendix A) on a small program.
+        let base = {
+            let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
+            m.run().unwrap();
+            m.mem_word(TileId(1), 0)
+        };
+        for seed in 1..6 {
+            let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program())
+                .with_chaos(ChaosConfig {
+                    seed,
+                    stall_percent: 40,
+                });
+            m.run().expect("chaos run completes");
+            assert_eq!(m.mem_word(TileId(1), 0), base, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn install_memory_bulk_copy() {
+        let mut m = Machine::new(
+            MachineConfig::grid(1, 1),
+            &MachineProgram::empty(1),
+        );
+        m.install_memory(TileId(0), 10, &[1, 2, 3]);
+        assert_eq!(m.mem_word(TileId(0), 11), 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the Raw space-time-scheduling reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use a
+//! single dependency. See `README.md` for the tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use raw_benchmarks as benchmarks;
+pub use raw_ir as ir;
+pub use raw_lang as lang;
+pub use raw_machine as machine;
+pub use rawcc as cc;

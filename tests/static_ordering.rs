@@ -1,0 +1,110 @@
+//! The static ordering property (paper Appendix A): a deadlock-free static
+//! schedule produces the same results under *any* timing. We model dynamic
+//! events (cache misses, interrupts) by randomly stalling processors and
+//! switches, and require bit-identical final state.
+
+use raw_repro::cc::{compile, CompilerOptions};
+use raw_repro::ir::interp::Interpreter;
+use raw_repro::machine::chaos::ChaosConfig;
+use raw_repro::machine::MachineConfig;
+
+fn run_with_chaos(
+    bench: &raw_repro::benchmarks::Benchmark,
+    n: u32,
+    chaos: Option<ChaosConfig>,
+) -> raw_repro::ir::interp::ExecResult {
+    let program = bench.program(n).unwrap();
+    let config = MachineConfig::square(n);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    let mut machine = compiled.instantiate(&program);
+    if let Some(c) = chaos {
+        machine = machine.with_chaos(c);
+    }
+    machine
+        .run()
+        .unwrap_or_else(|e| panic!("{} @{n} chaos={chaos:?}: {e}", bench.name));
+    compiled.extract_result(&program, &machine)
+}
+
+#[test]
+fn random_stalls_do_not_change_results() {
+    for bench in [
+        raw_repro::benchmarks::jacobi(8, 1),
+        raw_repro::benchmarks::mxm(4, 8, 2),
+        raw_repro::benchmarks::life(6, 1),
+    ] {
+        let reference = run_with_chaos(&bench, 4, None);
+        let golden = Interpreter::new(&bench.program(4).unwrap()).run().unwrap();
+        assert!(reference.state_eq(&golden));
+        for seed in 1..=5u64 {
+            for stall_percent in [10, 35, 60] {
+                let perturbed = run_with_chaos(
+                    &bench,
+                    4,
+                    Some(ChaosConfig {
+                        seed,
+                        stall_percent,
+                    }),
+                );
+                assert!(
+                    perturbed.state_eq(&reference),
+                    "{}: timing perturbation changed the result (seed {seed}, {stall_percent}%)",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_slows_execution_but_terminates() {
+    let bench = raw_repro::benchmarks::jacobi(8, 1);
+    let program = bench.program(2).unwrap();
+    let config = MachineConfig::square(2);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+
+    let mut clean = compiled.instantiate(&program);
+    let clean_cycles = clean.run().unwrap().cycles;
+
+    let mut noisy = compiled
+        .instantiate(&program)
+        .with_chaos(ChaosConfig {
+            seed: 99,
+            stall_percent: 50,
+        });
+    let noisy_cycles = noisy.run().unwrap().cycles;
+    assert!(
+        noisy_cycles > clean_cycles,
+        "stalls must cost cycles: {noisy_cycles} vs {clean_cycles}"
+    );
+}
+
+#[test]
+fn dynamic_network_traffic_is_timing_robust_too() {
+    // A kernel with data-dependent (dynamic-network) stores.
+    let src = "
+        int i; int k;
+        int D[16];
+        int H[4];
+        for (i = 0; i < 16; i = i + 1) {
+            k = D[i] % 4;
+            H[k] = H[k] + 1;
+        }
+    ";
+    let mut program = raw_repro::lang::compile_source("hist", src, 4).unwrap();
+    let d = program.array_by_name("D").unwrap();
+    program.arrays[d.index()].init = (0..16).map(|k| raw_repro::ir::Imm::I(k * 3)).collect();
+    let config = MachineConfig::square(4);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    let golden = Interpreter::new(&program).run().unwrap();
+
+    for seed in [7u64, 13, 21] {
+        let mut machine = compiled.instantiate(&program).with_chaos(ChaosConfig {
+            seed,
+            stall_percent: 30,
+        });
+        machine.run().unwrap();
+        let result = compiled.extract_result(&program, &machine);
+        assert!(result.state_eq(&golden), "seed {seed} diverged");
+    }
+}
