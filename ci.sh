@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline: format, lint, build, test.
+#
+# The workspace has no external dependencies (see crates/testkit), so every
+# step runs with --offline against an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "ci: all green"

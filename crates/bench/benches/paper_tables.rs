@@ -1,22 +1,24 @@
-//! Criterion benches mirroring the paper's evaluation artifacts.
+//! Micro-benchmarks mirroring the paper's evaluation artifacts, on the
+//! raw-testkit bench harness (`cargo bench -p raw-bench --bench paper_tables`).
 //!
-//! Each measured function regenerates one *row/point* of a table or figure:
+//! Each measured target regenerates one *row/point* of a table or figure:
 //!
 //! * `table2/<bench>` — baseline (sequential) compile + simulate.
 //! * `table3/<bench>/N` — RAWCC compile + simulate at N tiles.
 //! * `fig8/<variant>` — fpppp-kernel under base / inf-reg / 1-cycle machines.
 //!
-//! Criterion tracks host wall time (useful for regression tracking of the
-//! compiler and simulator themselves); the *simulated* cycle counts — the
-//! paper's actual metric — are printed once per target and collected by
+//! The harness tracks host wall time (useful for regression tracking of the
+//! compiler and simulator themselves) and appends one JSON line per target to
+//! `BENCH_paper_tables.json`; the *simulated* cycle counts — the paper's
+//! actual metric — are printed once per target and collected by
 //! `raw-bench`/`EXPERIMENTS.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use raw_bench::{measure, measure_baseline, MachineVariant};
+use raw_testkit::bench::Harness;
 use rawcc::CompilerOptions;
 
 fn scaled_suite() -> Vec<raw_benchmarks::Benchmark> {
-    // Criterion runs each target many times; use reduced shapes.
+    // Every target runs many times; use reduced shapes.
     vec![
         raw_benchmarks::life(12, 1),
         raw_benchmarks::vpenta(12),
@@ -33,43 +35,33 @@ fn scaled_suite() -> Vec<raw_benchmarks::Benchmark> {
     ]
 }
 
-fn table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_baseline");
-    group.sample_size(10);
+fn table2(h: &mut Harness) {
     for bench in scaled_suite() {
         let program = bench.baseline_program().unwrap();
         let cycles = measure_baseline(&program);
         eprintln!("table2: {} seq cycles = {cycles}", bench.name);
-        group.bench_function(bench.name, |b| {
-            b.iter(|| measure_baseline(&program));
+        h.bench(&format!("table2/{}", bench.name), || {
+            measure_baseline(&program)
         });
     }
-    group.finish();
 }
 
-fn table3(c: &mut Criterion) {
+fn table3(h: &mut Harness) {
     let options = CompilerOptions::default();
-    let mut group = c.benchmark_group("table3_rawcc");
-    group.sample_size(10);
     for bench in scaled_suite() {
         for n in [2u32, 8] {
             let program = bench.program(n).unwrap();
             let config = MachineVariant::Base.config(n);
             let m = measure(&program, &config, &options);
             eprintln!("table3: {} @{n} = {} cycles", bench.name, m.cycles);
-            group.bench_with_input(
-                BenchmarkId::new(bench.name, n),
-                &(program, config),
-                |b, (program, config)| {
-                    b.iter(|| measure(program, config, &options));
-                },
-            );
+            h.bench(&format!("table3/{}/{n}", bench.name), || {
+                measure(&program, &config, &options)
+            });
         }
     }
-    group.finish();
 }
 
-fn fig8(c: &mut Criterion) {
+fn fig8(h: &mut Harness) {
     let options = CompilerOptions::default();
     let bench = raw_benchmarks::fpppp_kernel(raw_benchmarks::FppppShape {
         inputs: 16,
@@ -77,8 +69,6 @@ fn fig8(c: &mut Criterion) {
         outputs: 10,
         seed: 5,
     });
-    let mut group = c.benchmark_group("fig8_fpppp");
-    group.sample_size(10);
     for variant in [
         MachineVariant::Base,
         MachineVariant::InfReg,
@@ -88,24 +78,29 @@ fn fig8(c: &mut Criterion) {
         let config = variant.config(8);
         let m = measure(&program, &config, &options);
         eprintln!("fig8: {} = {} cycles", variant.name(), m.cycles);
-        group.bench_function(variant.name(), |b| {
-            b.iter(|| measure(&program, &config, &options));
+        h.bench(&format!("fig8/{}", variant.name()), || {
+            measure(&program, &config, &options)
         });
     }
-    group.finish();
 }
 
-fn compile_only(c: &mut Criterion) {
+fn compile_only(h: &mut Harness) {
     // Compiler throughput on the largest-block benchmark (cholesky peels into
     // one straight-line region) — tracks orchestrater scalability.
     let bench = raw_benchmarks::cholesky(1, 10);
     let program = bench.program(8).unwrap();
     let config = MachineVariant::Base.config(8);
     let options = CompilerOptions::default();
-    c.bench_function("compile/cholesky@8", |b| {
-        b.iter(|| rawcc::compile(&program, &config, &options).unwrap());
+    h.bench("compile/cholesky@8", || {
+        rawcc::compile(&program, &config, &options).unwrap()
     });
 }
 
-criterion_group!(benches, table2, table3, fig8, compile_only);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("paper_tables");
+    table2(&mut h);
+    table3(&mut h);
+    fig8(&mut h);
+    compile_only(&mut h);
+    h.finish();
+}

@@ -1,12 +1,13 @@
 //! Microbenchmarks of the machine substrate itself: static-network message
 //! cost (Figure 4's event), dynamic-network round trips, and raw simulation
-//! throughput — regression tracking for the simulator.
+//! throughput — regression tracking for the simulator. Runs on the
+//! raw-testkit bench harness and writes `BENCH_simulator.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use raw_ir::{BinOp, Imm};
 use raw_machine::asm::{ProcAsm, SwitchAsm};
 use raw_machine::isa::{Dir, Dst, MachineProgram, SDst, SSrc, Src, TileCode};
 use raw_machine::{Machine, MachineConfig, TileId};
+use raw_testkit::bench::Harness;
 
 /// Figure 4's scenario: one word between neighbouring tiles.
 fn neighbor_message() -> (MachineConfig, MachineProgram) {
@@ -45,19 +46,17 @@ fn neighbor_message() -> (MachineConfig, MachineProgram) {
     )
 }
 
-fn fig4_message(c: &mut Criterion) {
+fn fig4_message(h: &mut Harness) {
     let (config, program) = neighbor_message();
-    c.bench_function("simulator/fig4_neighbor_message", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(config.clone(), &program);
-            let report = m.run().unwrap();
-            assert_eq!(m.mem_word(TileId::from_raw(1), 0), 142);
-            report.cycles
-        });
+    h.bench("simulator/fig4_neighbor_message", || {
+        let mut m = Machine::new(config.clone(), &program);
+        let report = m.run().unwrap();
+        assert_eq!(m.mem_word(TileId::from_raw(1), 0), 142);
+        report.cycles
     });
 }
 
-fn dynamic_round_trip(c: &mut Criterion) {
+fn dynamic_round_trip(h: &mut Harness) {
     // Remote load across a 4x4 mesh corner to corner.
     let config = MachineConfig::grid(4, 4);
     let gaddr = config.make_gaddr(TileId::from_raw(15), 7);
@@ -76,17 +75,15 @@ fn dynamic_round_trip(c: &mut Criterion) {
         });
     }
     let program = MachineProgram { tiles };
-    c.bench_function("simulator/dynamic_remote_load_4x4", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(config.clone(), &program);
-            m.set_mem_word(TileId::from_raw(15), 7, 4242);
-            m.run().unwrap();
-            assert_eq!(m.mem_word(TileId::from_raw(0), 0), 4242);
-        });
+    h.bench("simulator/dynamic_remote_load_4x4", || {
+        let mut m = Machine::new(config.clone(), &program);
+        m.set_mem_word(TileId::from_raw(15), 7, 4242);
+        m.run().unwrap();
+        assert_eq!(m.mem_word(TileId::from_raw(0), 0), 4242);
     });
 }
 
-fn stepping_throughput(c: &mut Criterion) {
+fn stepping_throughput(h: &mut Harness) {
     // Cycles/second the simulator sustains on a busy 16-tile machine: every
     // processor spins through an arithmetic loop.
     let config = MachineConfig::grid(4, 4);
@@ -97,12 +94,7 @@ fn stepping_throughput(c: &mut Criterion) {
         let top = p.new_label();
         p.bind(top);
         p.addi(Dst::Reg(1), Src::Reg(1), 1);
-        p.bin(
-            BinOp::Slt,
-            Dst::Reg(2),
-            Src::Reg(1),
-            Src::Imm(Imm::I(2000)),
-        );
+        p.bin(BinOp::Slt, Dst::Reg(2), Src::Reg(1), Src::Imm(Imm::I(2000)));
         p.bnez(Src::Reg(2), top);
         p.halt();
         tiles.push(TileCode {
@@ -111,13 +103,16 @@ fn stepping_throughput(c: &mut Criterion) {
         });
     }
     let program = MachineProgram { tiles };
-    c.bench_function("simulator/16_tiles_2k_iterations", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(config.clone(), &program);
-            m.run().unwrap().cycles
-        });
+    h.bench("simulator/16_tiles_2k_iterations", || {
+        let mut m = Machine::new(config.clone(), &program);
+        m.run().unwrap().cycles
     });
 }
 
-criterion_group!(benches, fig4_message, dynamic_round_trip, stepping_throughput);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("simulator");
+    fig4_message(&mut h);
+    dynamic_round_trip(&mut h);
+    stepping_throughput(&mut h);
+    h.finish();
+}

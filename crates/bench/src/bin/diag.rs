@@ -12,7 +12,11 @@ use rawcc::{compile, CompilerOptions};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mxm".into());
-    let n: u32 = match std::env::args().nth(2).unwrap_or_else(|| "16".into()).parse() {
+    let n: u32 = match std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "16".into())
+        .parse()
+    {
         Ok(n) => n,
         Err(_) => {
             eprintln!("usage: diag <benchmark> [n_tiles]   (n_tiles must be an integer)");
@@ -25,7 +29,10 @@ fn main() {
     }
     let Some(bench) = raw_benchmarks::by_name(&name) else {
         let names: Vec<&str> = raw_benchmarks::suite().iter().map(|b| b.name).collect();
-        eprintln!("unknown benchmark '{name}'; available: {}", names.join(", "));
+        eprintln!(
+            "unknown benchmark '{name}'; available: {}",
+            names.join(", ")
+        );
         std::process::exit(2);
     };
     let program = bench.program(n).unwrap();
@@ -65,7 +72,11 @@ fn main() {
         tot.proc_insts,
         pct(tot.proc_insts)
     );
-    println!("stall reg:     {:>10}  ({:.1}%)", tot.stall_reg, pct(tot.stall_reg));
+    println!(
+        "stall reg:     {:>10}  ({:.1}%)",
+        tot.stall_reg,
+        pct(tot.stall_reg)
+    );
     println!(
         "stall port-in: {:>10}  ({:.1}%)",
         tot.stall_port_in,

@@ -2,7 +2,10 @@ fn main() {
     use raw_bench::{measure, measure_baseline, MachineVariant};
     for (ints, outs) in [(90usize, 30usize), (200, 60), (400, 80)] {
         let bench = raw_benchmarks::fpppp_kernel(raw_benchmarks::FppppShape {
-            inputs: 40, intermediates: ints, outputs: outs, seed: 0x0f99_9921,
+            inputs: 40,
+            intermediates: ints,
+            outputs: outs,
+            seed: 0x0f99_9921,
         });
         let base = bench.baseline_program().unwrap();
         let seq = measure_baseline(&base);

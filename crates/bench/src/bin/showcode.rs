@@ -23,7 +23,10 @@ fn main() {
 
     let Some(bench) = raw_benchmarks::by_name(&name) else {
         let names: Vec<&str> = raw_benchmarks::suite().iter().map(|b| b.name).collect();
-        eprintln!("unknown benchmark '{name}'; available: {}", names.join(", "));
+        eprintln!(
+            "unknown benchmark '{name}'; available: {}",
+            names.join(", ")
+        );
         std::process::exit(2);
     };
     let program = bench.program(n).unwrap();

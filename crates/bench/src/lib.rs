@@ -257,8 +257,8 @@ pub fn table2_text(suite: &[Benchmark]) -> String {
     writeln!(s, "Table 2: Benchmark characteristics").unwrap();
     writeln!(
         s,
-        "  {:<14} {:>6} {:>12} {:>12}  {}",
-        "Benchmark", "Lines", "Array size", "Seq. RT", "Description"
+        "  {:<14} {:>6} {:>12} {:>12}  Description",
+        "Benchmark", "Lines", "Array size", "Seq. RT"
     )
     .unwrap();
     for b in suite {

@@ -13,8 +13,7 @@
 //! Generation is seeded and reproducible; the same seed always yields the
 //! same kernel.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use raw_testkit::Rng;
 use std::fmt::Write;
 
 /// Shape parameters of the generated kernel.
@@ -47,7 +46,7 @@ impl Default for FppppShape {
 
 /// Generates the fpppp-kernel mini-C source for `shape`.
 pub fn fpppp_source(shape: FppppShape) -> String {
-    let mut rng = StdRng::seed_from_u64(shape.seed);
+    let mut rng = Rng::new(shape.seed);
     let mut src = String::new();
 
     // Inputs with fixed pseudo-random initial values.
@@ -66,10 +65,10 @@ pub fn fpppp_source(shape: FppppShape) -> String {
     // often than earlier ones (recency bias), creating chains with random
     // cross-links — the "irregular parallelism" structure.
     let mut pool: Vec<String> = (0..shape.inputs).map(|k| format!("in{k}")).collect();
-    let pick = |rng: &mut StdRng, pool: &[String]| -> String {
+    let pick = |rng: &mut Rng, pool: &[String]| -> String {
         let n = pool.len();
         // Square-biased towards recent values.
-        let r: f64 = rng.gen();
+        let r: f64 = rng.gen_f64();
         let idx = ((r * r) * n as f64) as usize;
         pool[n - 1 - idx.min(n - 1)].clone()
     };
@@ -117,6 +116,18 @@ mod tests {
             ..Default::default()
         });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_kernel_is_pinned() {
+        // Golden hash of the default-shape kernel source: the fpppp workload
+        // must stay bit-identical across PRs (re-pin consciously on change;
+        // the assertion message prints the replacement value).
+        let got = raw_testkit::hash_str(&fpppp_source(FppppShape::default()));
+        assert_eq!(
+            got, 0x6fbc5667f0a7c2e1,
+            "fpppp kernel drifted; if intentional, re-pin to {got:#018x}"
+        );
     }
 
     #[test]

@@ -21,10 +21,9 @@ pub mod sources;
 
 pub use fpppp::{fpppp_source, FppppShape};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use raw_ir::{Imm, Program};
 use raw_lang::{compile_source_with, LangError, UnrollOptions};
+use raw_testkit::Rng;
 
 /// A benchmark: source, data, and Table-2 metadata.
 #[derive(Clone, Debug)]
@@ -47,10 +46,7 @@ impl Benchmark {
 
     /// Non-blank source line count (Table 2 "lines of code").
     pub fn lines(&self) -> usize {
-        self.source
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .count()
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
     }
 
     /// Compiles for an `n_tiles` machine with the default (RAWCC) unrolling
@@ -68,11 +64,7 @@ impl Benchmark {
     /// # Errors
     ///
     /// Propagates frontend errors.
-    pub fn program_with(
-        &self,
-        n_tiles: u32,
-        options: UnrollOptions,
-    ) -> Result<Program, LangError> {
+    pub fn program_with(&self, n_tiles: u32, options: UnrollOptions) -> Result<Program, LangError> {
         let mut program = compile_source_with(self.name, &self.source, n_tiles, options)?;
         for (array, values) in &self.inits {
             let id = program
@@ -101,14 +93,11 @@ impl Benchmark {
     }
 }
 
-fn rng(name: &str) -> StdRng {
-    let seed = name.bytes().fold(0xbead_cafe_u64, |acc, b| {
-        acc.wrapping_mul(131).wrapping_add(b as u64)
-    });
-    StdRng::seed_from_u64(seed)
+fn rng(name: &str) -> Rng {
+    Rng::from_name(name)
 }
 
-fn floats(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<Imm> {
+fn floats(rng: &mut Rng, n: usize, lo: f32, hi: f32) -> Vec<Imm> {
     (0..n).map(|_| Imm::F(rng.gen_range(lo..hi))).collect()
 }
 
@@ -173,10 +162,7 @@ pub fn mxm(m: u32, k: u32, p: u32) -> Benchmark {
 /// Batched Cholesky decomposition + forward substitution: `mats` SPD systems
 /// of size `n × n`.
 pub fn cholesky(mats: u32, n: u32) -> Benchmark {
-    let source = sources::instantiate(
-        sources::CHOLESKY,
-        &[("MATS", mats as i64), ("N", n as i64)],
-    );
+    let source = sources::instantiate(sources::CHOLESKY, &[("MATS", mats as i64), ("N", n as i64)]);
     // Build SPD matrices host-side: A = G·Gᵀ + n·I with G uniform in [0,1).
     let mut r = rng("cholesky");
     let nn = n as usize;
@@ -447,6 +433,50 @@ mod tests {
             assert!(b.lines() > 0);
             assert!(!b.array_size.is_empty());
         }
+    }
+
+    /// Hashes a benchmark's full generated identity: source text plus every
+    /// initial-data array (name and bit-exact values).
+    fn workload_hash(b: &Benchmark) -> u64 {
+        let mut bytes = b.source.clone().into_bytes();
+        for (name, vals) in &b.inits {
+            bytes.extend_from_slice(name.as_bytes());
+            for v in vals {
+                match v {
+                    Imm::I(x) => bytes.extend_from_slice(&x.to_le_bytes()),
+                    Imm::F(x) => bytes.extend_from_slice(&x.to_bits().to_le_bytes()),
+                }
+            }
+        }
+        raw_testkit::hash64(&bytes)
+    }
+
+    #[test]
+    fn suite_workloads_are_pinned() {
+        // Golden hashes pin every generated workload bit-for-bit across PRs:
+        // if the testkit RNG or a generator changes, this fails loudly and the
+        // values below must be consciously re-pinned (the assertion message
+        // prints the replacement table).
+        let expected: &[(&str, u64)] = &[
+            ("life", 0x4f7b783fbffc84f1),
+            ("vpenta", 0x60e0d6adc0564ff6),
+            ("cholesky", 0xe0de23c4081f6a63),
+            ("tomcatv", 0xe92316df5782d37a),
+            ("fpppp-kernel", 0x6fbc5667f0a7c2e1),
+            ("mxm", 0x6e2ca2315ad024ac),
+            ("jacobi", 0x6d497a5771479eb8),
+        ];
+        let got: Vec<(&str, u64)> = suite().iter().map(|b| (b.name, workload_hash(b))).collect();
+        let repin: Vec<String> = got
+            .iter()
+            .map(|(n, h)| format!("(\"{n}\", {h:#018x}),"))
+            .collect();
+        assert_eq!(
+            got,
+            expected.to_vec(),
+            "generated workloads drifted; if intentional, re-pin:\n{}",
+            repin.join("\n")
+        );
     }
 
     #[test]

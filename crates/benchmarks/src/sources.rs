@@ -217,10 +217,7 @@ mod tests {
             (JACOBI, vec![("N", 8), ("N1", 7), ("ITERS", 1)]),
             (MXM, vec![("M", 4), ("K", 8), ("P", 2)]),
             (CHOLESKY, vec![("MATS", 1), ("N", 4)]),
-            (
-                VPENTA,
-                vec![("N", 8), ("N1", 7), ("N2", 6), ("N3", 5)],
-            ),
+            (VPENTA, vec![("N", 8), ("N1", 7), ("N2", 6), ("N3", 5)]),
             (TOMCATV, vec![("N", 8), ("N1", 7), ("ITERS", 1)]),
         ];
         for (template, subs) in cases {

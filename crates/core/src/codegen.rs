@@ -138,9 +138,9 @@ fn fold_ops(
             continue;
         };
         // Producer must be a computation on this tile with v as destination.
-        let Some(i) = gen.iter().position(|op| {
-            matches!(op, Some(GenOp::Comp { node, .. }) if graph.insts[*node].dst == Some(v))
-        }) else {
+        let Some(i) = gen.iter().position(
+            |op| matches!(op, Some(GenOp::Comp { node, .. }) if graph.insts[*node].dst == Some(v)),
+        ) else {
             continue;
         };
         if i >= j || uses_of(&gen, v) != 1 || moved.contains_key(&i) {
@@ -187,8 +187,7 @@ fn fold_ops(
                     from_port,
                     to_port,
                 }) if graph.insts[*node].sources().any(|s| s == v) => {
-                    let occurrences =
-                        graph.insts[*node].sources().filter(|&s| s == v).count();
+                    let occurrences = graph.insts[*node].sources().filter(|&s| s == v).count();
                     let eligible = occurrences == 1 && from_port.is_none() && !*to_port;
                     Some((k, eligible))
                 }
@@ -240,9 +239,8 @@ pub fn generate(
     let n_tiles = layout.n_tiles as usize;
     let mut out = Vec::with_capacity(n_tiles);
     for tile in 0..n_tiles {
-        let cond_here = branch_cond.and_then(|(c, producer)| {
-            (producer.index() == tile).then_some(c)
-        });
+        let cond_here =
+            branch_cond.and_then(|(c, producer)| (producer.index() == tile).then_some(c));
         let ops = fold_ops(graph, &schedule.proc_ops[tile], cond_here, fold);
         let mut gen = TileGen {
             layout,
@@ -550,9 +548,13 @@ mod tests {
             )),
             "tile 2 code: {tile2:?}"
         );
-        assert!(tile2
-            .iter()
-            .any(|i| matches!(i, PInst::Alu { op: AluOp::Bin(raw_ir::BinOp::Shru), .. })));
+        assert!(tile2.iter().any(|i| matches!(
+            i,
+            PInst::Alu {
+                op: AluOp::Bin(raw_ir::BinOp::Shru),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -575,10 +577,13 @@ mod tests {
             let i = b.const_i32(3);
             let _ = b.load(a, i, MemHome::Static(0));
         });
-        assert!(!code[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, PInst::Alu { op: AluOp::Bin(raw_ir::BinOp::Shru), .. })));
+        assert!(!code[0].insts.iter().any(|i| matches!(
+            i,
+            PInst::Alu {
+                op: AluOp::Bin(raw_ir::BinOp::Shru),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -592,11 +597,17 @@ mod tests {
         let insts = &code[home].insts;
         assert!(insts.iter().any(|i| matches!(
             i,
-            PInst::Load { addr: Src::Imm(Imm::I(0)), .. }
+            PInst::Load {
+                addr: Src::Imm(Imm::I(0)),
+                ..
+            }
         )));
         assert!(insts.iter().any(|i| matches!(
             i,
-            PInst::Store { addr: Src::Imm(Imm::I(0)), .. }
+            PInst::Store {
+                addr: Src::Imm(Imm::I(0)),
+                ..
+            }
         )));
     }
 
@@ -621,9 +632,7 @@ mod tests {
         let part = crate::partition::partition(&g, &config, &options);
         let sched = crate::schedule::schedule(&g, &part, &config, &options);
 
-        let count = |code: &[TileBlockCode]| -> usize {
-            code.iter().map(|c| c.insts.len()).sum()
-        };
+        let count = |code: &[TileBlockCode]| -> usize { code.iter().map(|c| c.insts.len()).sum() };
         let port_events = |code: &[TileBlockCode]| -> usize {
             code.iter()
                 .flat_map(|c| c.insts.iter())
@@ -640,7 +649,10 @@ mod tests {
         };
         let folded = generate(&g, &sched, &layout, None, true);
         let unfolded = generate(&g, &sched, &layout, None, false);
-        assert!(count(&folded) < count(&unfolded), "folding must shrink code");
+        assert!(
+            count(&folded) < count(&unfolded),
+            "folding must shrink code"
+        );
         assert_eq!(
             port_events(&folded),
             port_events(&unfolded),

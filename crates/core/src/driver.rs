@@ -21,7 +21,6 @@ use crate::taskgraph::TaskGraph;
 use raw_ir::interp::ExecResult;
 use raw_ir::{Imm, Program, Terminator};
 use raw_machine::asm::{ProcAsm, SwitchAsm};
-use raw_machine::isa::{SDst, SSrc};
 use raw_machine::{Machine, MachineConfig, MachineProgram, RunReport, SimError, TileCode, TileId};
 use std::error::Error;
 use std::fmt;
@@ -120,8 +119,7 @@ impl CompiledProgram {
             .enumerate()
             .map(|(i, decl)| {
                 let v = raw_ir::VarId::from_raw(i as u32);
-                let bits =
-                    machine.mem_word(self.layout.var_home(v), self.layout.var_addr(v));
+                let bits = machine.mem_word(self.layout.var_home(v), self.layout.var_addr(v));
                 Imm::from_bits(bits, decl.ty)
             })
             .collect();
@@ -133,10 +131,8 @@ impl CompiledProgram {
                 let a = raw_ir::ArrayId::from_raw(i as u32);
                 (0..decl.len())
                     .map(|k| {
-                        machine.mem_word(
-                            self.layout.element_home(k),
-                            self.layout.element_local(a, k),
-                        )
+                        machine
+                            .mem_word(self.layout.element_home(k), self.layout.element_local(a, k))
                     })
                     .collect()
             })
@@ -243,7 +239,7 @@ fn compile_inner(
 
     struct BlockArtifact {
         phys: Vec<regalloc::AllocResult>,
-        switch_ops: Vec<Vec<(u64, Vec<(SSrc, SDst)>)>>,
+        switch_ops: Vec<schedule::TileSwitchOps>,
         cond_producer: Option<TileId>,
     }
 
@@ -394,8 +390,7 @@ mod tests {
 
     fn check_vs_interpreter(program: &Program, n_tiles: u32) {
         let config = MachineConfig::square(n_tiles);
-        let compiled = compile(program, &config, &CompilerOptions::default())
-            .expect("compiles");
+        let compiled = compile(program, &config, &CompilerOptions::default()).expect("compiles");
         let (result, _) = compiled.run(program).expect("simulates");
         let golden = Interpreter::new(program).run().expect("interprets");
         assert!(
@@ -529,9 +524,7 @@ mod tests {
     fn parallel_run_is_faster_than_sequential_for_wide_block() {
         // 16 independent fp chains: 4 tiles should beat 1 tile.
         let mut b = ProgramBuilder::new("wide");
-        let out: Vec<_> = (0..16)
-            .map(|k| b.var_f32(format!("o{k}"), 0.0))
-            .collect();
+        let out: Vec<_> = (0..16).map(|k| b.var_f32(format!("o{k}"), 0.0)).collect();
         for (k, &o) in out.iter().enumerate() {
             let mut v = b.const_f32(1.0 + k as f32);
             for _ in 0..8 {

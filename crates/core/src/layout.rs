@@ -54,7 +54,10 @@ impl DataLayout {
     /// bases, and the global static/dynamic array classification.
     pub fn build(program: &Program, config: &MachineConfig) -> Self {
         let n = config.n_tiles();
-        assert!(n.is_power_of_two(), "low-order interleaving needs 2^k tiles");
+        assert!(
+            n.is_power_of_two(),
+            "low-order interleaving needs 2^k tiles"
+        );
 
         let var_home = (0..program.vars.len())
             .map(|i| TileId::from_raw(i as u32 % n))
@@ -75,10 +78,10 @@ impl DataLayout {
         for (_, block) in program.iter_blocks() {
             for inst in &block.insts {
                 match inst.kind {
-                    InstKind::Load { array, home, .. } | InstKind::Store { array, home, .. } => {
-                        if home == MemHome::Dynamic {
-                            dynamic[array.index()] = true;
-                        }
+                    InstKind::Load { array, home, .. } | InstKind::Store { array, home, .. }
+                        if home == MemHome::Dynamic =>
+                    {
+                        dynamic[array.index()] = true;
                     }
                     _ => {}
                 }
@@ -210,8 +213,14 @@ mod tests {
     fn dynamic_reference_poisons_whole_array() {
         let p = program_with(MemHome::Dynamic, MemHome::Static(0));
         let layout = DataLayout::build(&p, &MachineConfig::square(2));
-        assert!(matches!(layout.class(p.array_by_name("A").unwrap()), ArrayClass::Dynamic { .. }));
-        assert_eq!(layout.class(p.array_by_name("B").unwrap()), ArrayClass::Static);
+        assert!(matches!(
+            layout.class(p.array_by_name("A").unwrap()),
+            ArrayClass::Dynamic { .. }
+        ));
+        assert_eq!(
+            layout.class(p.array_by_name("B").unwrap()),
+            ArrayClass::Static
+        );
     }
 
     #[test]

@@ -95,24 +95,22 @@ fn cluster(graph: &TaskGraph, comm_cost: u32) -> Clustering {
     for node in graph.topo_order() {
         let pin = graph.pins[node];
         // Start time if assigned to cluster `c` (None = fresh singleton).
-        let start_in = |c: Option<usize>,
-                        cluster_of: &Vec<Option<usize>>,
-                        cluster_avail: &Vec<u64>|
-         -> u64 {
-            let mut t = match c {
-                Some(c) => cluster_avail[c],
-                None => 0,
-            };
-            for &(p, kind) in &graph.preds[node] {
-                let pc = cluster_of[p].expect("topological order");
-                let extra = match kind {
-                    EdgeKind::Data if Some(pc) != c => comm,
-                    _ => 0,
+        let start_in =
+            |c: Option<usize>, cluster_of: &Vec<Option<usize>>, cluster_avail: &Vec<u64>| -> u64 {
+                let mut t = match c {
+                    Some(c) => cluster_avail[c],
+                    None => 0,
                 };
-                t = t.max(finish[p] + extra);
-            }
-            t
-        };
+                for &(p, kind) in &graph.preds[node] {
+                    let pc = cluster_of[p].expect("topological order");
+                    let extra = match kind {
+                        EdgeKind::Data if Some(pc) != c => comm,
+                        _ => 0,
+                    };
+                    t = t.max(finish[p] + extra);
+                }
+                t
+            };
 
         // Candidates: fresh singleton, or any data-predecessor's cluster whose
         // pin is compatible. Order edges force the predecessor's cluster only
@@ -206,10 +204,14 @@ fn merge(graph: &TaskGraph, clusters: &Clustering, n_tiles: usize) -> Bins {
     let mut locked: Vec<Option<TileId>> = vec![None; n_tiles];
 
     // Pinned clusters claim their tile's bin (bin index = tile index).
-    for c in 0..clusters.count {
-        if let Some(t) = clusters.pins[c] {
-            of_cluster[c] = t.index();
-            load[t.index()] += clusters.sizes[c];
+    for ((slot, &pin), &size) in of_cluster
+        .iter_mut()
+        .zip(&clusters.pins)
+        .zip(&clusters.sizes)
+    {
+        if let Some(t) = pin {
+            *slot = t.index();
+            load[t.index()] += size;
             locked[t.index()] = Some(t);
         }
     }
@@ -462,7 +464,10 @@ mod tests {
         };
         let p1 = partition(&g, &config, &options);
         let p2 = partition(&g, &config, &options);
-        assert_eq!(p1.assignment, p2.assignment, "annealing must be seeded-deterministic");
+        assert_eq!(
+            p1.assignment, p2.assignment,
+            "annealing must be seeded-deterministic"
+        );
         // Pins (none here) and node coverage still hold.
         assert_eq!(p1.assignment.len(), g.len());
     }
@@ -506,9 +511,6 @@ mod tests {
             let _ = b.mul(y, y);
         });
         let part = partition(&g, &config, &CompilerOptions::default());
-        assert!(part
-            .assignment
-            .iter()
-            .all(|&t| t == TileId::from_raw(0)));
+        assert!(part.assignment.iter().all(|&t| t == TileId::from_raw(0)));
     }
 }

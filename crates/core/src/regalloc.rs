@@ -51,7 +51,11 @@ pub fn allocate(
     gprs: u32,
     spill_base: u32,
 ) -> AllocResult {
-    assert!(gprs > RESERVED as u32, "need at least {} registers", RESERVED + 1);
+    assert!(
+        gprs > RESERVED as u32,
+        "need at least {} registers",
+        RESERVED + 1
+    );
     let avail = (gprs - RESERVED as u32).min(u16::MAX as u32) as u16;
 
     // Fast path: everything fits (also the `inf-reg` configuration).
@@ -344,7 +348,14 @@ mod tests {
         let r = allocate(vec![li(0, 5), add(1, 0, 0)], 2, Some(1), 32, 100);
         assert_eq!(r.n_spilled, 0);
         assert_eq!(r.cond_reg, Some(3));
-        assert!(matches!(r.insts[1], PInst::Alu { dst: Dst::Reg(3), a: Src::Reg(2), .. }));
+        assert!(matches!(
+            r.insts[1],
+            PInst::Alu {
+                dst: Dst::Reg(3),
+                a: Src::Reg(2),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -453,7 +464,9 @@ mod tests {
             let mut ep = DynEndpoint::new(16);
             let mut cycle = 0;
             while !proc.halted() && cycle < 10_000 {
-                proc.step(&code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut ep);
+                proc.step(
+                    &code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut ep,
+                );
                 cycle += 1;
             }
             mem[0]

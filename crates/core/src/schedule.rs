@@ -31,13 +31,17 @@ pub enum TileOp {
     Recv(raw_ir::ValueId),
 }
 
+/// One tile's switch schedule: `(cycle, route pairs)` in increasing cycle
+/// order.
+pub type TileSwitchOps = Vec<(u64, Vec<(SSrc, SDst)>)>;
+
 /// The space-time schedule of one basic block.
 #[derive(Clone, Debug, Default)]
 pub struct BlockSchedule {
     /// Per tile: `(cycle, op)` in increasing cycle order.
     pub proc_ops: Vec<Vec<(u64, TileOp)>>,
     /// Per tile: `(cycle, route pairs)` in increasing cycle order.
-    pub switch_ops: Vec<Vec<(u64, Vec<(SSrc, SDst)>)>>,
+    pub switch_ops: Vec<TileSwitchOps>,
     /// Estimated completion time of the block.
     pub makespan: u64,
     /// Number of communication paths scheduled (reporting).
@@ -81,7 +85,9 @@ pub fn schedule(
     // comm_of[node] = task id of the node's outgoing comm path, if any.
     let mut comm_of: HashMap<NodeId, usize> = HashMap::new();
     for n in 0..graph.len() {
-        let Some(v) = graph.insts[n].dst else { continue };
+        let Some(v) = graph.insts[n].dst else {
+            continue;
+        };
         let src = partition.assignment[n];
         let mut dsts: Vec<TileId> = graph.succs[n]
             .iter()
@@ -106,12 +112,13 @@ pub fn schedule(
     let n_tasks = tasks.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_tasks];
     let mut n_preds: Vec<usize> = vec![0; n_tasks];
-    let add_dep = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, n_preds: &mut Vec<usize>| {
-        if !succs[from].contains(&to) {
-            succs[from].push(to);
-            n_preds[to] += 1;
-        }
-    };
+    let add_dep =
+        |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, n_preds: &mut Vec<usize>| {
+            if !succs[from].contains(&to) {
+                succs[from].push(to);
+                n_preds[to] += 1;
+            }
+        };
     for n in 0..graph.len() {
         if let Some(&c) = comm_of.get(&n) {
             add_dep(n, c, &mut succs, &mut n_preds);
@@ -136,7 +143,11 @@ pub fn schedule(
         match t {
             Task::Comp(n) => graph.costs[*n] as u64,
             Task::Comm { src, dsts, .. } => {
-                let max_hops = dsts.iter().map(|&d| config.hops(*src, d)).max().unwrap_or(0);
+                let max_hops = dsts
+                    .iter()
+                    .map(|&d| config.hops(*src, d))
+                    .max()
+                    .unwrap_or(0);
                 2 + max_hops as u64
             }
         }
@@ -215,10 +226,7 @@ pub fn schedule(
                 out.proc_ops[tile.index()].push((t, TileOp::Comp(n)));
                 issue[tid] = op_slot;
                 if let Some(v) = graph.insts[n].dst {
-                    value_ready.insert(
-                        (tile.index() as u32, v),
-                        op_slot + graph.costs[n] as u64,
-                    );
+                    value_ready.insert((tile.index() as u32, v), op_slot + graph.costs[n] as u64);
                 }
                 out.makespan = out.makespan.max(op_slot + graph.costs[n] as u64);
             }
@@ -279,7 +287,10 @@ pub fn schedule(
             }
         }
     }
-    assert_eq!(scheduled, n_tasks, "task DAG must be acyclic and connected to roots");
+    assert_eq!(
+        scheduled, n_tasks,
+        "task DAG must be acyclic and connected to roots"
+    );
 
     for ops in &mut out.proc_ops {
         ops.sort_by_key(|(t, _)| *t);

@@ -236,12 +236,10 @@ fn estimate_cost(inst: &Inst, layout: &DataLayout, config: &MachineConfig) -> u3
 /// references on multi-tile machines, one add for dynamic references).
 fn extra_slots_of(inst: &Inst, layout: &DataLayout) -> u32 {
     match inst.kind {
-        InstKind::Load { array, .. } | InstKind::Store { array, .. } => {
-            match layout.class(array) {
-                ArrayClass::Dynamic { .. } => 1,
-                ArrayClass::Static => u32::from(layout.tile_shift() > 0),
-            }
-        }
+        InstKind::Load { array, .. } | InstKind::Store { array, .. } => match layout.class(array) {
+            ArrayClass::Dynamic { .. } => 1,
+            ArrayClass::Static => u32::from(layout.tile_shift() > 0),
+        },
         _ => 0,
     }
 }

@@ -46,12 +46,7 @@ impl AffineIndex {
 
     /// Evaluates the index for concrete induction-variable values.
     pub fn eval(&self, ivs: &[i64]) -> i64 {
-        self.coeffs
-            .iter()
-            .zip(ivs)
-            .map(|(c, i)| c * i)
-            .sum::<i64>()
-            + self.constant
+        self.coeffs.iter().zip(ivs).map(|(c, i)| c * i).sum::<i64>() + self.constant
     }
 }
 

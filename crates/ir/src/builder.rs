@@ -238,7 +238,11 @@ impl ProgramBuilder {
 
     fn terminate(&mut self, term: Terminator) {
         let cur = &mut self.blocks[self.current.index()];
-        assert!(cur.term.is_none(), "block {} already terminated", self.current);
+        assert!(
+            cur.term.is_none(),
+            "block {} already terminated",
+            self.current
+        );
         cur.term = Some(term);
     }
 

@@ -56,7 +56,10 @@ pub fn fold_constants(program: &mut Program) {
 
 fn commutative(op: BinOp) -> bool {
     use BinOp::*;
-    matches!(op, Add | Mul | And | Or | Xor | Seq | Sne | AddF | MulF | FEq)
+    matches!(
+        op,
+        Add | Mul | And | Or | Xor | Seq | Sne | AddF | MulF | FEq
+    )
 }
 
 /// Common-subexpression elimination within each block.
@@ -142,10 +145,7 @@ pub fn dce(program: &mut Program) {
         // its destination is used later.
         let mut live = vec![false; block.insts.len()];
         for (i, inst) in block.insts.iter().enumerate().rev() {
-            let side_effect = matches!(
-                inst.kind,
-                InstKind::Store { .. } | InstKind::WriteVar(..)
-            );
+            let side_effect = matches!(inst.kind, InstKind::Store { .. } | InstKind::WriteVar(..));
             let needed = side_effect || inst.dst.map(|d| used[d.index()]).unwrap_or(false);
             if needed {
                 live[i] = true;

@@ -44,10 +44,13 @@ impl ArrayDecl {
 
     /// Initial value of element `index` (zero if no explicit initializer).
     pub fn init_value(&self, index: u32) -> Imm {
-        self.init.get(index as usize).copied().unwrap_or(match self.ty {
-            Ty::I32 => Imm::I(0),
-            Ty::F32 => Imm::F(0.0),
-        })
+        self.init
+            .get(index as usize)
+            .copied()
+            .unwrap_or(match self.ty {
+                Ty::I32 => Imm::I(0),
+                Ty::F32 => Imm::F(0.0),
+            })
     }
 }
 
@@ -205,15 +208,11 @@ impl Program {
         let mut writes = Vec::new();
         for inst in &self.block(b).insts {
             match inst.kind {
-                InstKind::ReadVar(v) => {
-                    if !reads.contains(&v) {
-                        reads.push(v);
-                    }
+                InstKind::ReadVar(v) if !reads.contains(&v) => {
+                    reads.push(v);
                 }
-                InstKind::WriteVar(v, _) => {
-                    if !writes.contains(&v) {
-                        writes.push(v);
-                    }
+                InstKind::WriteVar(v, _) if !writes.contains(&v) => {
+                    writes.push(v);
                 }
                 _ => {}
             }

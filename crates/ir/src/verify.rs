@@ -125,10 +125,16 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
 
         let check_use = |v: ValueId, local: &Vec<bool>| -> Result<(), VerifyError> {
             if v.index() >= n_values {
-                return Err(VerifyError::ValueOutOfRange { value: v, block: bid });
+                return Err(VerifyError::ValueOutOfRange {
+                    value: v,
+                    block: bid,
+                });
             }
             if !local[v.index()] {
-                return Err(VerifyError::UseBeforeDef { value: v, block: bid });
+                return Err(VerifyError::UseBeforeDef {
+                    value: v,
+                    block: bid,
+                });
             }
             Ok(())
         };
@@ -371,27 +377,29 @@ mod tests {
 
     #[test]
     fn cross_block_use_rejected() {
-        let mut program = Program::default();
-        program.value_types = vec![Ty::I32];
-        program.blocks = vec![
-            Block {
-                name: "a".into(),
-                insts: vec![Inst {
-                    dst: Some(ValueId::from_raw(0)),
-                    kind: InstKind::Const(Imm::I(1)),
-                }],
-                term: Terminator::Jump(BlockId::from_raw(1)),
-            },
-            Block {
-                name: "b".into(),
-                insts: vec![],
-                term: Terminator::Branch {
-                    cond: ValueId::from_raw(0),
-                    if_true: BlockId::from_raw(0),
-                    if_false: BlockId::from_raw(1),
+        let program = Program {
+            value_types: vec![Ty::I32],
+            blocks: vec![
+                Block {
+                    name: "a".into(),
+                    insts: vec![Inst {
+                        dst: Some(ValueId::from_raw(0)),
+                        kind: InstKind::Const(Imm::I(1)),
+                    }],
+                    term: Terminator::Jump(BlockId::from_raw(1)),
                 },
-            },
-        ];
+                Block {
+                    name: "b".into(),
+                    insts: vec![],
+                    term: Terminator::Branch {
+                        cond: ValueId::from_raw(0),
+                        if_true: BlockId::from_raw(0),
+                        if_false: BlockId::from_raw(1),
+                    },
+                },
+            ],
+            ..Program::default()
+        };
         assert!(matches!(
             verify(&program),
             Err(VerifyError::UseBeforeDef { .. })
@@ -400,22 +408,24 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        let mut program = Program::default();
-        program.value_types = vec![Ty::F32, Ty::I32];
-        program.blocks = vec![Block {
-            name: "a".into(),
-            insts: vec![
-                Inst {
-                    dst: Some(ValueId::from_raw(0)),
-                    kind: InstKind::Const(Imm::F(1.0)),
-                },
-                Inst {
-                    dst: Some(ValueId::from_raw(1)),
-                    kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
-                },
-            ],
-            term: Terminator::Halt,
-        }];
+        let program = Program {
+            value_types: vec![Ty::F32, Ty::I32],
+            blocks: vec![Block {
+                name: "a".into(),
+                insts: vec![
+                    Inst {
+                        dst: Some(ValueId::from_raw(0)),
+                        kind: InstKind::Const(Imm::F(1.0)),
+                    },
+                    Inst {
+                        dst: Some(ValueId::from_raw(1)),
+                        kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            ..Program::default()
+        };
         assert!(matches!(
             verify(&program),
             Err(VerifyError::TypeMismatch { .. })
@@ -438,13 +448,14 @@ mod tests {
 
     #[test]
     fn bad_branch_target_rejected() {
-        let mut program = Program::default();
-        program.value_types = vec![];
-        program.blocks = vec![Block {
-            name: "a".into(),
-            insts: vec![],
-            term: Terminator::Jump(BlockId::from_raw(7)),
-        }];
+        let program = Program {
+            blocks: vec![Block {
+                name: "a".into(),
+                insts: vec![],
+                term: Terminator::Jump(BlockId::from_raw(7)),
+            }],
+            ..Program::default()
+        };
         assert!(matches!(
             verify(&program),
             Err(VerifyError::BadReference { .. })

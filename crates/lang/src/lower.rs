@@ -43,7 +43,10 @@ pub fn lower_kernel(kernel: &Kernel, n_tiles: u32) -> Result<Program, LangError>
     };
     for v in &kernel.vars {
         if lower.vars.contains_key(&v.name) || lower.arrays.contains_key(&v.name) {
-            return Err(LangError::new(v.span, format!("duplicate name '{}'", v.name)));
+            return Err(LangError::new(
+                v.span,
+                format!("duplicate name '{}'", v.name),
+            ));
         }
         let init = match (v.ty, v.init) {
             (Type::Int, None) => Imm::I(0),
@@ -63,10 +66,15 @@ pub fn lower_kernel(kernel: &Kernel, n_tiles: u32) -> Result<Program, LangError>
     }
     for a in &kernel.arrays {
         if lower.vars.contains_key(&a.name) || lower.arrays.contains_key(&a.name) {
-            return Err(LangError::new(a.span, format!("duplicate name '{}'", a.name)));
+            return Err(LangError::new(
+                a.span,
+                format!("duplicate name '{}'", a.name),
+            ));
         }
         let id = lower.b.array(a.name.clone(), ir_ty(a.ty), &a.dims);
-        lower.arrays.insert(a.name.clone(), (id, a.dims.clone(), a.ty));
+        lower
+            .arrays
+            .insert(a.name.clone(), (id, a.dims.clone(), a.ty));
     }
     lower.stmts(&kernel.stmts)?;
     lower.flush();
@@ -218,8 +226,7 @@ impl Lower {
                         self.stmts(body)?;
                         self.assign(&LValue::Var(var.clone(), *span), &incr)?;
                         self.loops.pop();
-                        let (iv, _) =
-                            self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
+                        let (iv, _) = self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
                         let (bv, bt) = self.expr(bound, Some(Type::Int))?;
                         expect(Type::Int, bt, bound.span(), "for bound")?;
                         let c = self.b.bin(cond_op, iv, bv);
@@ -236,8 +243,7 @@ impl Lower {
                         let exit = self.b.new_block("for.exit");
                         self.b.jump(header);
                         self.b.switch_to(header);
-                        let (iv, _) =
-                            self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
+                        let (iv, _) = self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
                         let (bv, bt) = self.expr(bound, Some(Type::Int))?;
                         expect(Type::Int, bt, bound.span(), "for bound")?;
                         let c = self.b.bin(cond_op, iv, bv);
@@ -265,16 +271,15 @@ impl Lower {
     fn assign(&mut self, target: &LValue, value: &Expr) -> Result<(), LangError> {
         match target {
             LValue::Var(name, span) => {
-                let (_, vt) = *self
-                    .vars
-                    .get(name)
-                    .ok_or_else(|| LangError::new(*span, format!("undeclared variable '{name}'")))?;
+                let (_, vt) = *self.vars.get(name).ok_or_else(|| {
+                    LangError::new(*span, format!("undeclared variable '{name}'"))
+                })?;
                 let (v, t) = self.expr(value, Some(vt))?;
                 expect(vt, t, value.span(), "assignment")?;
-                if !self.cache.contains_key(name) || !self.dirty.contains(name) {
-                    if !self.dirty.contains(name) {
-                        self.dirty.push(name.clone());
-                    }
+                if (!self.cache.contains_key(name) || !self.dirty.contains(name))
+                    && !self.dirty.contains(name)
+                {
+                    self.dirty.push(name.clone());
                 }
                 self.cache.insert(name.clone(), v);
                 Ok(())
@@ -284,11 +289,10 @@ impl Lower {
                 indices,
                 span,
             } => {
-                let (aid, dims, ety) = self
-                    .arrays
-                    .get(array)
-                    .cloned()
-                    .ok_or_else(|| LangError::new(*span, format!("undeclared array '{array}'")))?;
+                let (aid, dims, ety) =
+                    self.arrays.get(array).cloned().ok_or_else(|| {
+                        LangError::new(*span, format!("undeclared array '{array}'"))
+                    })?;
                 let (v, t) = self.expr(value, Some(ety))?;
                 expect(ety, t, value.span(), "array store")?;
                 let (idx, home) = self.index(&dims, indices, *span)?;
@@ -440,10 +444,9 @@ impl Lower {
             }
             Expr::Lit(Literal::Float(v), _) => Ok((self.b.const_f32(*v), Type::Float)),
             Expr::Var(name, span) => {
-                let (var, t) = *self
-                    .vars
-                    .get(name)
-                    .ok_or_else(|| LangError::new(*span, format!("undeclared variable '{name}'")))?;
+                let (var, t) = *self.vars.get(name).ok_or_else(|| {
+                    LangError::new(*span, format!("undeclared variable '{name}'"))
+                })?;
                 if let Some(&v) = self.cache.get(name) {
                     return Ok((v, t));
                 }
@@ -456,11 +459,10 @@ impl Lower {
                 indices,
                 span,
             } => {
-                let (aid, dims, ety) = self
-                    .arrays
-                    .get(array)
-                    .cloned()
-                    .ok_or_else(|| LangError::new(*span, format!("undeclared array '{array}'")))?;
+                let (aid, dims, ety) =
+                    self.arrays.get(array).cloned().ok_or_else(|| {
+                        LangError::new(*span, format!("undeclared array '{array}'"))
+                    })?;
                 let (idx, home) = self.index(&dims, indices, *span)?;
                 Ok((self.b.load(aid, idx, home), ety))
             }
@@ -517,7 +519,10 @@ impl Lower {
         };
         let (mut lv, lt) = self.expr(l, operand_want)?;
         // Promote an int-literal left side against a float right side.
-        let (rv, rt) = self.expr(r, Some(lt).filter(|_| operand_want.is_none()).or(operand_want))?;
+        let (rv, rt) = self.expr(
+            r,
+            Some(lt).filter(|_| operand_want.is_none()).or(operand_want),
+        )?;
         let ty = if lt == rt {
             lt
         } else if lt == Type::Int && matches!(l, Expr::Lit(Literal::Int(_), _)) {

@@ -102,7 +102,9 @@ impl Parser {
                         other => {
                             return Err(LangError::new(
                                 span,
-                                format!("array dimension must be a positive integer, found {other:?}"),
+                                format!(
+                                    "array dimension must be a positive integer, found {other:?}"
+                                ),
                             ))
                         }
                     }
@@ -509,8 +511,18 @@ mod tests {
         let k = parse("t", "int x; x = 1 + 2 * 3;").unwrap();
         match &k.stmts[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Bin { op: BinKind::Add, r, .. } => {
-                    assert!(matches!(**r, Expr::Bin { op: BinKind::Mul, .. }));
+                Expr::Bin {
+                    op: BinKind::Add,
+                    r,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **r,
+                        Expr::Bin {
+                            op: BinKind::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("bad tree {other:?}"),
             },

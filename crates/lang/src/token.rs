@@ -144,22 +144,21 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     bump!();
                 }
                 let text = &source[start..i];
-                let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| {
-                        LangError::new(span, format!("bad float literal '{text}'"))
-                    })?)
-                } else {
-                    Tok::Int(text.parse().map_err(|_| {
-                        LangError::new(span, format!("bad integer literal '{text}'"))
-                    })?)
-                };
+                let tok =
+                    if is_float {
+                        Tok::Float(text.parse().map_err(|_| {
+                            LangError::new(span, format!("bad float literal '{text}'"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| {
+                            LangError::new(span, format!("bad integer literal '{text}'"))
+                        })?)
+                    };
                 tokens.push(Token { tok, span });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &source[start..i];

@@ -255,8 +255,7 @@ impl Ctx<'_> {
                     u_static
                 };
 
-                let (Some(init_c), Some(bound_c)) = (const_eval(init), const_eval(bound))
-                else {
+                let (Some(init_c), Some(bound_c)) = (const_eval(init), const_eval(bound)) else {
                     // Unknown trip count: unrolling can't preserve it exactly.
                     return fallback(body);
                 };
@@ -721,7 +720,10 @@ mod tests {
         // Final induction-variable fix-up.
         assert!(matches!(
             k.stmts.last(),
-            Some(Stmt::Assign { value: Expr::Lit(Literal::Int(32), _), .. })
+            Some(Stmt::Assign {
+                value: Expr::Lit(Literal::Int(32), _),
+                ..
+            })
         ));
     }
 
@@ -835,11 +837,7 @@ mod tests {
 
     #[test]
     fn affine_coeff_handles_composition() {
-        let k = parse(
-            "t",
-            "int i; int j; float A[8]; A[3*i + 2*j - 1] = 0.0;",
-        )
-        .unwrap();
+        let k = parse("t", "int i; int j; float A[8]; A[3*i + 2*j - 1] = 0.0;").unwrap();
         let Stmt::Assign { target, .. } = &k.stmts[0] else {
             unreachable!()
         };

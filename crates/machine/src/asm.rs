@@ -26,10 +26,7 @@ impl Labels {
     }
 
     fn bind(&mut self, label: Label, at: usize) {
-        assert!(
-            self.bound[label.0].is_none(),
-            "label bound twice at {at}"
-        );
+        assert!(self.bound[label.0].is_none(), "label bound twice at {at}");
         self.bound[label.0] = Some(at);
     }
 

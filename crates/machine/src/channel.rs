@@ -98,7 +98,10 @@ mod tests {
         let mut ch = Channel::new(4);
         assert!(!ch.can_read());
         ch.write(7);
-        assert!(!ch.can_read(), "write must not be visible in the same cycle");
+        assert!(
+            !ch.can_read(),
+            "write must not be visible in the same cycle"
+        );
         ch.commit();
         assert!(ch.can_read());
         assert_eq!(ch.peek(), Some(7));

@@ -197,10 +197,7 @@ mod tests {
                 (c.rows, c.cols)
             })
             .collect();
-        assert_eq!(
-            shapes,
-            vec![(1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (4, 8)]
-        );
+        assert_eq!(shapes, vec![(1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (4, 8)]);
     }
 
     #[test]

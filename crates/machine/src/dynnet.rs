@@ -213,9 +213,9 @@ impl DynNet {
 
     /// True if no flit is buffered anywhere in the network.
     pub fn is_idle(&self) -> bool {
-        self.routers.iter().all(|r| {
-            r.in_q.iter().all(|q| q.is_empty()) && r.reasm.is_empty()
-        })
+        self.routers
+            .iter()
+            .all(|r| r.in_q.iter().all(|q| q.is_empty()) && r.reasm.is_empty())
     }
 
     /// Advances the network one cycle. Returns `true` if any flit moved.
@@ -228,10 +228,10 @@ impl DynNet {
 
         // 1. Feed one flit per tile from the endpoint inject queue into the
         //    router's local input port.
-        for t in 0..n {
-            if self.routers[t].in_q[LOCAL].len() < self.fifo_cap {
-                if let Some(f) = endpoints[t].inject.pop_front() {
-                    self.routers[t].in_q[LOCAL].push_back(f);
+        for (router, ep) in self.routers.iter_mut().zip(endpoints.iter_mut()) {
+            if router.in_q[LOCAL].len() < self.fifo_cap {
+                if let Some(f) = ep.inject.pop_front() {
+                    router.in_q[LOCAL].push_back(f);
                     progress = true;
                 }
             }
@@ -285,8 +285,7 @@ impl DynNet {
                 } else {
                     let nb = self.neighbor(t, out);
                     let nb_port = opposite(out);
-                    self.routers[nb].in_q[nb_port].len() + staged_count[nb][nb_port]
-                        < self.fifo_cap
+                    self.routers[nb].in_q[nb_port].len() + staged_count[nb][nb_port] < self.fifo_cap
                 };
                 if !can {
                     continue;

@@ -140,7 +140,8 @@ impl AluOp {
         match self {
             AluOp::Bin(op) => {
                 let ty = op.operand_ty();
-                op.eval(Imm::from_bits(a, ty), Imm::from_bits(b, ty)).to_bits()
+                op.eval(Imm::from_bits(a, ty), Imm::from_bits(b, ty))
+                    .to_bits()
             }
             AluOp::Un(op) => {
                 // Mov is polymorphic on bits; other unaries decode per operand type.
@@ -472,10 +473,17 @@ mod tests {
         let add = AluOp::Bin(BinOp::Add);
         assert_eq!(add.eval(5, (-3i32) as u32), 2);
         let addf = AluOp::Bin(BinOp::AddF);
-        assert_eq!(addf.eval(1.5f32.to_bits(), 2.25f32.to_bits()), 3.75f32.to_bits());
+        assert_eq!(
+            addf.eval(1.5f32.to_bits(), 2.25f32.to_bits()),
+            3.75f32.to_bits()
+        );
         let mov = AluOp::Un(UnOp::Mov);
         let nan_bits = f32::NAN.to_bits() | 0x1234;
-        assert_eq!(mov.eval(nan_bits, 0), nan_bits, "mov must be bit-transparent");
+        assert_eq!(
+            mov.eval(nan_bits, 0),
+            nan_bits,
+            "mov must be bit-transparent"
+        );
     }
 
     #[test]

@@ -91,11 +91,7 @@ impl Machine {
     /// `config.n_tiles()` tiles.
     pub fn new(config: MachineConfig, program: &MachineProgram) -> Self {
         let n = config.n_tiles() as usize;
-        assert_eq!(
-            program.tiles.len(),
-            n,
-            "program must cover all {n} tiles"
-        );
+        assert_eq!(program.tiles.len(), n, "program must cover all {n} tiles");
         let mut channels = Vec::new();
         let alloc = |cap: usize, channels: &mut Vec<Channel>| {
             channels.push(Channel::new(cap));
@@ -108,17 +104,20 @@ impl Machine {
             sp.push(alloc(config.port_capacity, &mut channels));
         }
         let mut link_out = vec![[None; 4]; n];
-        for t in 0..n {
+        for (t, out) in link_out.iter_mut().enumerate() {
             for dir in Dir::ALL {
                 if config.neighbor(TileId(t as u32), dir).is_some() {
-                    link_out[t][dir.index()] =
-                        Some(alloc(config.port_capacity, &mut channels));
+                    out[dir.index()] = Some(alloc(config.port_capacity, &mut channels));
                 }
             }
         }
-        let procs = (0..n).map(|t| Processor::new(t as u32, config.gprs)).collect();
+        let procs = (0..n)
+            .map(|t| Processor::new(t as u32, config.gprs))
+            .collect();
         let switches = (0..n).map(|_| Switch::new(config.switch_regs)).collect();
-        let mems = (0..n).map(|_| vec![0u32; config.mem_words as usize]).collect();
+        let mems = (0..n)
+            .map(|_| vec![0u32; config.mem_words as usize])
+            .collect();
         let dynnet = DynNet::new(config.rows, config.cols, config.dyn_fifo);
         let endpoints = (0..n).map(|_| DynEndpoint::new(16)).collect();
         let handlers = (0..n).map(|_| Handler::new()).collect();
@@ -434,9 +433,13 @@ impl Machine {
             .unwrap();
             for dir in Dir::ALL {
                 if let Some(id) = self.link_out[t][dir.index()] {
-                    if self.channels[id].len() > 0 {
-                        writeln!(s, "  link tile{t}->{dir:?}: {} words", self.channels[id].len())
-                            .unwrap();
+                    if !self.channels[id].is_empty() {
+                        writeln!(
+                            s,
+                            "  link tile{t}->{dir:?}: {} words",
+                            self.channels[id].len()
+                        )
+                        .unwrap();
                     }
                 }
             }
@@ -501,12 +504,7 @@ mod tests {
         s1.route(&[(SSrc::Dir(Dir::West), SDst::Proc)]);
         s1.halt();
         let mut p1 = ProcAsm::new();
-        p1.bin(
-            BinOp::Add,
-            Dst::Reg(1),
-            Src::Imm(Imm::I(100)),
-            Src::PortIn,
-        );
+        p1.bin(BinOp::Add, Dst::Reg(1), Src::Imm(Imm::I(100)), Src::PortIn);
         p1.store_imm_addr(Src::Reg(1), 0);
         p1.halt();
 
@@ -541,7 +539,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(recv_cycle, Some(3), "receive-side add must issue at cycle 3");
+        assert_eq!(
+            recv_cycle,
+            Some(3),
+            "receive-side add must issue at cycle 3"
+        );
         assert_eq!(m.mem_word(TileId(1), 0), 142);
     }
 
@@ -549,7 +551,11 @@ mod tests {
     fn run_reports_and_finishes() {
         let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
         let report = m.run().expect("completes");
-        assert!(report.cycles >= 4 && report.cycles < 20, "{}", report.cycles);
+        assert!(
+            report.cycles >= 4 && report.cycles < 20,
+            "{}",
+            report.cycles
+        );
         assert!(report.stats.static_words >= 3); // proc→sw, sw→sw, sw→proc
         assert_eq!(m.mem_word(TileId(1), 0), 142);
     }
@@ -704,10 +710,7 @@ mod tests {
 
     #[test]
     fn install_memory_bulk_copy() {
-        let mut m = Machine::new(
-            MachineConfig::grid(1, 1),
-            &MachineProgram::empty(1),
-        );
+        let mut m = Machine::new(MachineConfig::grid(1, 1), &MachineProgram::empty(1));
         m.install_memory(TileId(0), 10, &[1, 2, 3]);
         assert_eq!(m.mem_word(TileId(0), 11), 2);
     }

@@ -172,7 +172,11 @@ impl Processor {
                 ProcOutcome::Progress
             } else if self.out_pending.is_empty() {
                 ProcOutcome::Halted
-            } else if self.out_pending.front().is_some_and(|&(when, _)| cycle < when) {
+            } else if self
+                .out_pending
+                .front()
+                .is_some_and(|&(when, _)| cycle < when)
+            {
                 // Timed wait for the producing op's latency — always resolves.
                 ProcOutcome::Stalled(StallCause::RegNotReady)
             } else {
@@ -347,7 +351,13 @@ mod tests {
         let mut cycle = 0;
         while !proc.halted() && cycle < max_cycles {
             proc.step(
-                &code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut dyn_ep,
+                &code,
+                cycle,
+                &config,
+                &mut mem,
+                &mut pin,
+                &mut pout,
+                &mut dyn_ep,
             );
             pin.commit();
             pout.commit();
@@ -438,7 +448,13 @@ mod tests {
         // Three cycles with no data: all stall.
         for cycle in 0..3 {
             let out = proc.step(
-                &code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut dyn_ep,
+                &code,
+                cycle,
+                &config,
+                &mut mem,
+                &mut pin,
+                &mut pout,
+                &mut dyn_ep,
             );
             assert_eq!(out, ProcOutcome::Stalled(StallCause::PortInEmpty));
             pin.commit();
@@ -447,7 +463,13 @@ mod tests {
         pin.commit();
         for cycle in 3..10 {
             proc.step(
-                &code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut dyn_ep,
+                &code,
+                cycle,
+                &config,
+                &mut mem,
+                &mut pin,
+                &mut pout,
+                &mut dyn_ep,
             );
             pin.commit();
         }
@@ -463,12 +485,7 @@ mod tests {
         let top = a.new_label();
         a.bind(top);
         a.addi(Dst::Reg(1), Src::Reg(1), 1);
-        a.bin(
-            BinOp::Sne,
-            Dst::Reg(2),
-            Src::Reg(1),
-            Src::Imm(Imm::I(5)),
-        );
+        a.bin(BinOp::Sne, Dst::Reg(2), Src::Reg(1), Src::Imm(Imm::I(5)));
         a.bnez(Src::Reg(2), top);
         a.store_imm_addr(Src::Reg(1), 0);
         a.halt();
@@ -491,7 +508,13 @@ mod tests {
         let mut cycle = 0;
         while !proc.halted() && cycle < 50 {
             proc.step(
-                &code, cycle, &config, &mut mem, &mut pin, &mut pout, &mut dyn_ep,
+                &code,
+                cycle,
+                &config,
+                &mut mem,
+                &mut pin,
+                &mut pout,
+                &mut dyn_ep,
             );
             pout.commit();
             cycle += 1;

@@ -1,0 +1,227 @@
+//! Micro-benchmark harness (a `criterion` stand-in).
+//!
+//! Each target is measured as: warmup runs, then `samples` timed samples.
+//! Fast targets are auto-batched so one sample lasts at least ~1 ms. The
+//! summary (median / p10 / p90 per iteration) prints to stderr, and one JSON
+//! line per target is appended to `BENCH_<suite>.json` in the working
+//! directory (override the directory with `BENCH_DIR`), so external tooling
+//! can track regressions without parsing human output.
+//!
+//! Environment knobs: `BENCH_SAMPLES` (default 15), `BENCH_WARMUP`
+//! (default 2), `BENCH_DIR` (default `.`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Summary statistics of one benchmark target, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Target name, e.g. `table3/mxm/8`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched per sample.
+    pub iters_per_sample: u64,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 10th percentile.
+    pub p10_ns: f64,
+    /// 90th percentile.
+    pub p90_ns: f64,
+    /// Mean.
+    pub mean_ns: f64,
+}
+
+impl Record {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
+             \"median_ns\":{:.1},\"p10_ns\":{:.1},\"p90_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            escape(&self.name),
+            self.samples,
+            self.iters_per_sample,
+            self.median_ns,
+            self.p10_ns,
+            self.p90_ns,
+            self.mean_ns,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// A benchmark suite: measures targets, prints summaries, writes JSON lines.
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    warmup: usize,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Creates a harness for suite `name` (the JSON file is
+    /// `BENCH_<name>.json`).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Harness {
+            suite: name.to_string(),
+            samples: env_usize("BENCH_SAMPLES", 15),
+            warmup: env_usize("BENCH_WARMUP", 2),
+            records: Vec::new(),
+        }
+    }
+
+    /// Measures one target. `f` is the complete unit of work; its return
+    /// value is consumed with [`std::hint::black_box`] so the work is not
+    /// optimised away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        // Calibrate batch size so one sample lasts >= ~1 ms.
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = probe.elapsed().as_nanos().max(1);
+        let iters = (1_000_000 / once_ns).max(1) as u64;
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let record = Record {
+            name: name.to_string(),
+            samples: self.samples,
+            iters_per_sample: iters,
+            median_ns: percentile(&per_iter, 0.5),
+            p10_ns: percentile(&per_iter, 0.1),
+            p90_ns: percentile(&per_iter, 0.9),
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        };
+        eprintln!(
+            "bench {:<40} median {:>12.1} ns  p10 {:>12.1}  p90 {:>12.1}  ({} samples x {} iters)",
+            record.name, record.median_ns, record.p10_ns, record.p90_ns, record.samples, iters,
+        );
+        self.records.push(record);
+    }
+
+    /// Records measured so far (for tests and custom reporting).
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Writes `BENCH_<suite>.json` (one JSON object per line, overwriting any
+    /// previous run of the same suite) and prints its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn finish(self) {
+        let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.json());
+            out.push('\n');
+        }
+        let mut file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        file.write_all(out.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!(
+            "bench suite '{}': {} records -> {}",
+            self.suite,
+            self.records.len(),
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_batches_fast_work() {
+        let mut h = Harness {
+            suite: "selftest".into(),
+            samples: 5,
+            warmup: 1,
+            records: Vec::new(),
+        };
+        let mut acc = 0u64;
+        h.bench("fast/add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let r = &h.records()[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.median_ns > 0.0);
+        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let r = Record {
+            name: "a\"b\\c".into(),
+            samples: 3,
+            iters_per_sample: 7,
+            median_ns: 1.5,
+            p10_ns: 1.0,
+            p90_ns: 2.0,
+            mean_ns: 1.6,
+        };
+        let j = r.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"b\\\\c"));
+        assert!(j.contains("\"samples\":3"));
+    }
+
+    #[test]
+    fn finish_writes_jsonl_file() {
+        let dir = std::env::temp_dir().join("raw_testkit_bench_selftest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_DIR", &dir);
+        let mut h = Harness {
+            suite: "selftest_file".into(),
+            samples: 2,
+            warmup: 0,
+            records: Vec::new(),
+        };
+        h.bench("x", || 1 + 1);
+        h.finish();
+        std::env::remove_var("BENCH_DIR");
+        let text = std::fs::read_to_string(dir.join("BENCH_selftest_file.json")).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"name\":\"x\""));
+    }
+}

@@ -48,8 +48,14 @@ fn from_builder() -> raw_ir::Program {
     let mut b = ProgramBuilder::new("dot-from-builder");
     let a = b.array("A", Ty::F32, &[16]);
     let bb = b.array("B", Ty::F32, &[16]);
-    b.set_array_init(a, (0..16).map(|k| Imm::F(0.25 * (k as f32 + 1.0))).collect());
-    b.set_array_init(bb, (0..16).map(|k| Imm::F(0.25 * (k as f32 + 1.0))).collect());
+    b.set_array_init(
+        a,
+        (0..16).map(|k| Imm::F(0.25 * (k as f32 + 1.0))).collect(),
+    );
+    b.set_array_init(
+        bb,
+        (0..16).map(|k| Imm::F(0.25 * (k as f32 + 1.0))).collect(),
+    );
     let dot = b.var_f32("dot", 0.0);
     let peak = b.var_f32("peak", 0.0);
 
@@ -67,7 +73,13 @@ fn from_builder() -> raw_ir::Program {
     while layer.len() > 1 {
         layer = layer
             .chunks(2)
-            .map(|c| if c.len() == 2 { b.add_f(c[0], c[1]) } else { c[0] })
+            .map(|c| {
+                if c.len() == 2 {
+                    b.add_f(c[0], c[1])
+                } else {
+                    c[0]
+                }
+            })
             .collect();
     }
     b.write_var(dot, layer[0]);

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 16×32 · 32×8 matrix product (a smaller cousin of the paper's 32×64 ·
     // 64×8 so this example runs fast even in debug builds).
     let bench = raw_benchmarks::mxm(16, 32, 8);
-    println!("kernel source ({} lines):\n{}", bench.lines(), bench.source());
+    println!(
+        "kernel source ({} lines):\n{}",
+        bench.lines(),
+        bench.source()
+    );
 
     // Sequential baseline.
     let baseline_ir = bench.baseline_program()?;
@@ -22,9 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (base_result, base_report) = baseline.run(&baseline_ir)?;
     let golden = Interpreter::new(&baseline_ir).run()?;
     assert!(base_result.state_eq(&golden));
-    println!("baseline (1 tile, rolled loops): {} cycles\n", base_report.cycles);
+    println!(
+        "baseline (1 tile, rolled loops): {} cycles\n",
+        base_report.cycles
+    );
 
-    println!("{:>6} {:>10} {:>8}  {}", "tiles", "cycles", "speedup", "layout");
+    println!("{:>6} {:>10} {:>8}  layout", "tiles", "cycles", "speedup");
     for n in [1u32, 2, 4, 8, 16] {
         let program = bench.program(n)?;
         let config = MachineConfig::square(n);

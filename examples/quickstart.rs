@@ -121,8 +121,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(&program, &config, &options)?;
     let (result, report) = compiled.run(&program)?;
     let golden = Interpreter::new(&program).run()?;
-    assert!(result.state_eq(&golden), "simulation must match interpreter");
-    println!("  simulated {} cycles; results match the interpreter:", report.cycles);
+    assert!(
+        result.state_eq(&golden),
+        "simulation must match interpreter"
+    );
+    println!(
+        "  simulated {} cycles; results match the interpreter:",
+        report.cycles
+    );
     for (i, decl) in program.vars.iter().enumerate() {
         println!("    {} = {}", decl.name, result.vars[i]);
     }

@@ -68,7 +68,10 @@ fn empty_program_compiles_and_halts() {
     b.halt();
     let program = b.finish().unwrap();
     let cycles = roundtrip(&program, MachineConfig::square(4));
-    assert!(cycles < 10, "an empty program should halt almost immediately");
+    assert!(
+        cycles < 10,
+        "an empty program should halt almost immediately"
+    );
 }
 
 #[test]
@@ -80,8 +83,12 @@ fn zero_trip_loops_and_empty_branches() {
         while (x < 0) { x = x - 1; }
     ";
     let program = compile_source("degenerate", src, 2).unwrap();
-    let compiled = compile(&program, &MachineConfig::square(2), &CompilerOptions::default())
-        .unwrap();
+    let compiled = compile(
+        &program,
+        &MachineConfig::square(2),
+        &CompilerOptions::default(),
+    )
+    .unwrap();
     let (result, _) = compiled.run(&program).unwrap();
     let x = program.var_by_name("x").unwrap();
     assert_eq!(result.var_value(x), Imm::I(5));
@@ -142,8 +149,12 @@ fn deep_branch_nesting_broadcasts_correctly() {
         } else { c = 4; }
     ";
     let program = compile_source("nest", src, 8).unwrap();
-    let compiled = compile(&program, &MachineConfig::square(8), &CompilerOptions::default())
-        .unwrap();
+    let compiled = compile(
+        &program,
+        &MachineConfig::square(8),
+        &CompilerOptions::default(),
+    )
+    .unwrap();
     let (result, _) = compiled.run(&program).unwrap();
     let c = program.var_by_name("c").unwrap();
     assert_eq!(result.var_value(c), Imm::I(1));
@@ -155,7 +166,10 @@ fn frontend_rejects_malformed_kernels_gracefully() {
         ("int x; x = ;", "empty expression"),
         ("float y; y = 1.5 %% 2.0;", "bad operator"),
         ("int A[0]; A[0] = 1;", "zero-size array"),
-        ("int i; for (i = 0; i > 3; i = i + 1) i = 0;", "loop assigns induction var? no: wrong cond op is fine; body assigns i"),
+        (
+            "int i; for (i = 0; i > 3; i = i + 1) i = 0;",
+            "loop assigns induction var? no: wrong cond op is fine; body assigns i",
+        ),
         ("int x x = 1;", "missing semicolon"),
     ] {
         let result = compile_source("bad", src, 2);
@@ -195,8 +209,12 @@ fn large_immediates_and_negative_indices_are_handled() {
     b.write_var(out, wrapped);
     b.halt();
     let program = b.finish().unwrap();
-    let compiled = compile(&program, &MachineConfig::square(1), &CompilerOptions::default())
-        .unwrap();
+    let compiled = compile(
+        &program,
+        &MachineConfig::square(1),
+        &CompilerOptions::default(),
+    )
+    .unwrap();
     let (result, _) = compiled.run(&program).unwrap();
     assert_eq!(
         result.var_value(program.var_by_name("out").unwrap()),

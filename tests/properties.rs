@@ -5,12 +5,12 @@
 //! straight-line dataflow programs, random affine loop nests, and random
 //! register-pressure shapes.
 
-use proptest::prelude::*;
 use raw_repro::cc::{compile, CompilerOptions};
 use raw_repro::ir::builder::ProgramBuilder;
 use raw_repro::ir::interp::Interpreter;
 use raw_repro::ir::{BinOp, Imm, MemHome, Program, Ty, UnOp, ValueId};
 use raw_repro::machine::MachineConfig;
+use raw_testkit::prelude::*;
 
 /// One random straight-line op over previously defined values.
 #[derive(Clone, Debug)]
@@ -69,8 +69,7 @@ fn build_program(ops: &[Op], n_tiles: u32) -> Program {
             Op::FloatBin(o, x, y) => {
                 let l = floats[x % floats.len()];
                 let r = floats[y % floats.len()];
-                let op = [BinOp::AddF, BinOp::SubF, BinOp::MulF, BinOp::MulF]
-                    [*o as usize % 4];
+                let op = [BinOp::AddF, BinOp::SubF, BinOp::MulF, BinOp::MulF][*o as usize % 4];
                 floats.push(b.bin(op, l, r));
             }
             Op::FloatUn(o, x) => {
@@ -102,12 +101,12 @@ fn build_program(ops: &[Op], n_tiles: u32) -> Program {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![cases(24)]
 
     /// Random straight-line dataflow programs compile, simulate without
     /// deadlock, and match the interpreter bit-exactly on 1, 2, and 4 tiles.
     #[test]
-    fn random_dag_programs_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+    fn random_dag_programs_roundtrip(ops in vec(op_strategy(), 1..60)) {
         for n in [1u32, 2, 4] {
             let program = build_program(&ops, n);
             let golden = Interpreter::new(&program).run().unwrap();
@@ -162,7 +161,7 @@ proptest! {
     /// Register pressure: the same program compiled under tight and abundant
     /// register budgets must agree (spilling preserves semantics end to end).
     #[test]
-    fn register_budgets_agree(ops in proptest::collection::vec(op_strategy(), 30..80)) {
+    fn register_budgets_agree(ops in vec(op_strategy(), 30..80)) {
         let program = build_program(&ops, 2);
         let golden = Interpreter::new(&program).run().unwrap();
         for gprs in [4u32, 8, 32, 1 << 12] {

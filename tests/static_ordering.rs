@@ -57,6 +57,52 @@ fn random_stalls_do_not_change_results() {
 }
 
 #[test]
+fn chaos_sweep_stall_rates_seeds_and_shapes() {
+    // Appendix-A sweep: stall probabilities {1, 5, 20, 50}% × 8 seeds × two
+    // mesh shapes. Final memory must be bit-identical to the unperturbed run
+    // in every cell of the matrix. The chaos seeds themselves are drawn from
+    // the testkit RNG so the sweep is deterministic but not hand-picked.
+    let bench = raw_repro::benchmarks::jacobi(8, 1);
+    let program = bench.program(4).unwrap();
+    let golden = Interpreter::new(&program).run().unwrap();
+    let mut seed_rng = raw_testkit::Rng::new(0x000A_110C_8A05);
+    let seeds: Vec<u64> = (0..8).map(|_| seed_rng.next_u64()).collect();
+
+    for (rows, cols) in [(2u32, 2), (1, 4)] {
+        let config = MachineConfig::grid(rows, cols);
+        let compiled = compile(&program, &config, &CompilerOptions::default())
+            .unwrap_or_else(|e| panic!("{rows}x{cols}: compile: {e}"));
+        let mut reference = compiled.instantiate(&program);
+        reference
+            .run()
+            .unwrap_or_else(|e| panic!("{rows}x{cols}: {e}"));
+        let reference = compiled.extract_result(&program, &reference);
+        assert!(
+            reference.state_eq(&golden),
+            "{rows}x{cols}: unperturbed run diverges from interpreter"
+        );
+
+        for &seed in &seeds {
+            for stall_percent in [1u32, 5, 20, 50] {
+                let mut machine = compiled.instantiate(&program).with_chaos(ChaosConfig {
+                    seed,
+                    stall_percent,
+                });
+                machine.run().unwrap_or_else(|e| {
+                    panic!("{rows}x{cols} seed {seed:#x} {stall_percent}%: {e}")
+                });
+                let perturbed = compiled.extract_result(&program, &machine);
+                assert!(
+                    perturbed.state_eq(&reference),
+                    "{rows}x{cols}: timing perturbation changed final memory \
+                     (seed {seed:#x}, {stall_percent}%)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn chaos_slows_execution_but_terminates() {
     let bench = raw_repro::benchmarks::jacobi(8, 1);
     let program = bench.program(2).unwrap();
@@ -66,12 +112,10 @@ fn chaos_slows_execution_but_terminates() {
     let mut clean = compiled.instantiate(&program);
     let clean_cycles = clean.run().unwrap().cycles;
 
-    let mut noisy = compiled
-        .instantiate(&program)
-        .with_chaos(ChaosConfig {
-            seed: 99,
-            stall_percent: 50,
-        });
+    let mut noisy = compiled.instantiate(&program).with_chaos(ChaosConfig {
+        seed: 99,
+        stall_percent: 50,
+    });
     let noisy_cycles = noisy.run().unwrap().cycles;
     assert!(
         noisy_cycles > clean_cycles,
