@@ -3,8 +3,32 @@
 #
 # The workspace has no external dependencies (see crates/testkit), so every
 # step runs with --offline against an empty registry.
+#
+# Modes:
+#   ci.sh         default gate (fmt, clippy, build, test, bench smoke)
+#   ci.sh bench   full benchmark run: both suites at full sample counts,
+#                 writing BENCH_simulator.json / BENCH_paper_tables.json to
+#                 the repo root ($BENCH_DIR overrides).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+run_benches() {
+  # The harness appends JSON lines; remove stale files so each run is a
+  # clean snapshot comparable with bench_diff.
+  local dir="${BENCH_DIR:-$PWD}"
+  mkdir -p "$dir"
+  rm -f "$dir"/BENCH_simulator.json "$dir"/BENCH_paper_tables.json
+  BENCH_DIR="$dir" cargo bench --offline -p raw-bench
+}
+
+if [[ "${1:-}" == "bench" ]]; then
+  echo "==> cargo build --release (bench tooling)"
+  cargo build --offline --release -p raw-bench
+  echo "==> full benchmark suites"
+  run_benches
+  echo "ci: bench done (compare snapshots with: cargo run --release -p raw-bench --bin bench_diff -- OLD.json NEW.json)"
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -17,5 +41,14 @@ cargo build --offline --release
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
+
+echo "==> bench smoke (reduced samples) + bench_diff self-check"
+smoke_dir="$(mktemp -d)"
+BENCH_DIR="$smoke_dir" BENCH_SAMPLES=3 BENCH_WARMUP=1 \
+  cargo bench --offline -p raw-bench --bench simulator >/dev/null
+# Self-comparison must always pass: guards the JSON format and the diff tool.
+cargo run --offline --release -p raw-bench --bin bench_diff -- \
+  "$smoke_dir/BENCH_simulator.json" "$smoke_dir/BENCH_simulator.json"
+rm -rf "$smoke_dir"
 
 echo "ci: all green"

@@ -94,6 +94,15 @@ fn compile_only(h: &mut Harness) {
     h.bench("compile/cholesky@8", || {
         rawcc::compile(&program, &config, &options).unwrap()
     });
+    // Annealing placement dominates compile time at high step counts; this
+    // target tracks the incremental Δ-cost move evaluation.
+    let annealing = CompilerOptions {
+        placement: rawcc::PlacementAlgorithm::Annealing { seed: 7 },
+        ..Default::default()
+    };
+    h.bench("compile/cholesky@8/annealing", || {
+        rawcc::compile(&program, &config, &annealing).unwrap()
+    });
 }
 
 fn main() {

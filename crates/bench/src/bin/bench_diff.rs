@@ -1,0 +1,160 @@
+//! Compares two `BENCH_*.json` files and fails on median regressions.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold PCT]
+//! ```
+//!
+//! Each file is the JSON-lines output of the `raw-testkit` bench harness (one
+//! record per line with `name` and `median_ns` fields). For every target
+//! present in both files the median ratio is printed; if any target's median
+//! grew by more than the threshold (default 15%), the tool exits non-zero.
+//! Targets present in only one file are reported but never fail the run, so a
+//! suite can gain or retire targets without breaking CI.
+
+use std::process::ExitCode;
+
+/// One parsed record: target name and median nanoseconds.
+struct Entry {
+    name: String,
+    median_ns: f64,
+}
+
+/// Extracts the string value of `"name":"…"` from one JSON line, handling the
+/// `\"` and `\\` escapes the harness emits.
+fn parse_name(line: &str) -> Option<String> {
+    let start = line.find("\"name\":\"")? + "\"name\":\"".len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"median_ns":…` from one JSON line.
+fn parse_median(line: &str) -> Option<f64> {
+    let start = line.find("\"median_ns\":")? + "\"median_ns\":".len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_file(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut entries = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let name = parse_name(line).ok_or(format!("{path}:{}: no \"name\" field", ln + 1))?;
+        let median_ns =
+            parse_median(line).ok_or(format!("{path}:{}: no \"median_ns\" field", ln + 1))?;
+        entries.push(Entry { name, median_ns });
+    }
+    Ok(entries)
+}
+
+fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, String> {
+    let old = parse_file(old_path)?;
+    let new = parse_file(new_path)?;
+    let mut ok = true;
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}",
+        "target", "old ns", "new ns", "ratio"
+    );
+    for n in &new {
+        // Last occurrence wins, matching append semantics of the harness.
+        let Some(o) = old.iter().rev().find(|o| o.name == n.name) else {
+            println!(
+                "{:<40} {:>12} {:>12.1} {:>8}",
+                n.name, "-", n.median_ns, "new"
+            );
+            continue;
+        };
+        let ratio = n.median_ns / o.median_ns.max(f64::MIN_POSITIVE);
+        let flag = if ratio > 1.0 + threshold_pct / 100.0 {
+            ok = false;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<40} {:>12.1} {:>12.1} {:>7.2}x{flag}",
+            n.name, o.median_ns, n.median_ns, ratio
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.name == o.name) {
+            println!(
+                "{:<40} {:>12.1} {:>12} {:>8}",
+                o.name, o.median_ns, "-", "gone"
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut threshold = 15.0f64;
+    let mut paths = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            i += 1;
+            threshold = match args.get(i).and_then(|v| v.parse().ok()) {
+                Some(t) => t,
+                None => {
+                    eprintln!("bench_diff: --threshold needs a number");
+                    return ExitCode::from(2);
+                }
+            };
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT]");
+        return ExitCode::from(2);
+    }
+    match run(&paths[0], &paths[1], threshold) {
+        Ok(true) => {
+            println!("bench_diff: no median regression above {threshold}%");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_diff: median regression above {threshold}% detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_harness_lines() {
+        let line = "{\"name\":\"table3/mxm/8\",\"samples\":15,\"iters_per_sample\":1,\
+                    \"median_ns\":123.5,\"p10_ns\":120.0,\"p90_ns\":130.0,\"mean_ns\":124.0}";
+        assert_eq!(parse_name(line).unwrap(), "table3/mxm/8");
+        assert_eq!(parse_median(line).unwrap(), 123.5);
+    }
+
+    #[test]
+    fn parses_escaped_names() {
+        let line = "{\"name\":\"odd\\\"quote\\\\slash\",\"median_ns\":1.0}";
+        assert_eq!(parse_name(line).unwrap(), "odd\"quote\\slash");
+    }
+}

@@ -316,7 +316,7 @@ fn compile_inner(
         for (b, block) in program.blocks.iter().enumerate() {
             pa.bind(plabels[b]);
             for inst in &artifacts[b].phys[t].insts {
-                pa.push(inst.clone());
+                pa.push(*inst);
             }
             if switch_active {
                 sa.bind(slabels[b]);

@@ -82,9 +82,11 @@ pub fn schedule(
     // ---- Build the task list: one Comp per node, one Comm per value with
     // remote consumers.
     let mut tasks: Vec<Task> = (0..graph.len()).map(Task::Comp).collect();
-    // comm_of[node] = task id of the node's outgoing comm path, if any.
-    let mut comm_of: HashMap<NodeId, usize> = HashMap::new();
-    for n in 0..graph.len() {
+    // comm_of[node] = task id of the node's outgoing comm path (dense vector,
+    // `usize::MAX` = none — node ids index it directly on the hot path).
+    const NO_COMM: usize = usize::MAX;
+    let mut comm_of: Vec<usize> = vec![NO_COMM; graph.len()];
+    for (n, slot) in comm_of.iter_mut().enumerate() {
         let Some(v) = graph.insts[n].dst else {
             continue;
         };
@@ -103,7 +105,7 @@ pub fn schedule(
                 src,
                 dsts,
             });
-            comm_of.insert(n, tasks.len() - 1);
+            *slot = tasks.len() - 1;
         }
     }
     out.n_comm_paths = tasks.len() - graph.len();
@@ -120,8 +122,8 @@ pub fn schedule(
             }
         };
     for n in 0..graph.len() {
-        if let Some(&c) = comm_of.get(&n) {
-            add_dep(n, c, &mut succs, &mut n_preds);
+        if comm_of[n] != NO_COMM {
+            add_dep(n, comm_of[n], &mut succs, &mut n_preds);
         }
         for &(p, kind) in &graph.preds[n] {
             match kind {
@@ -130,7 +132,8 @@ pub fn schedule(
                     if partition.assignment[p] == partition.assignment[n] {
                         add_dep(p, n, &mut succs, &mut n_preds);
                     } else {
-                        let c = comm_of[&p];
+                        let c = comm_of[p];
+                        debug_assert_ne!(c, NO_COMM, "remote data edge must have a comm path");
                         add_dep(c, n, &mut succs, &mut n_preds);
                     }
                 }
@@ -172,8 +175,20 @@ pub fn schedule(
     // ---- Greedy list scheduling.
     let mut proc_busy: Vec<HashSet<u64>> = vec![HashSet::new(); n_tiles];
     let mut switch_busy: Vec<HashSet<u64>> = vec![HashSet::new(); n_tiles];
-    // value_ready[(tile, value)] = first cycle a consumer on `tile` may issue.
-    let mut value_ready: HashMap<(u32, raw_ir::ValueId), u64> = HashMap::new();
+    // value_ready[tile * n_values + value] = first cycle a consumer on `tile`
+    // may issue (dense matrix, `u64::MAX` = not produced there). The event
+    // loop reads this once per data predecessor, so it must be an index, not
+    // a hash lookup.
+    const NOT_READY: u64 = u64::MAX;
+    let n_values = graph
+        .insts
+        .iter()
+        .filter_map(|i| i.dst)
+        .map(|v| v.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut value_ready: Vec<u64> = vec![NOT_READY; n_tiles * n_values];
+    let ready_idx = |tile: TileId, v: raw_ir::ValueId| tile.index() * n_values + v.index();
     let mut issue: Vec<u64> = vec![0; n_tasks];
     let mut remaining = n_preds.clone();
     let mut heap: BinaryHeap<(u64, std::cmp::Reverse<usize>)> = (0..n_tasks)
@@ -192,8 +207,8 @@ pub fn schedule(
 
     while let Some((_, std::cmp::Reverse(tid))) = heap.pop() {
         scheduled += 1;
-        match tasks[tid].clone() {
-            Task::Comp(n) => {
+        match &tasks[tid] {
+            &Task::Comp(n) => {
                 let tile = partition.assignment[n];
                 let mut t0 = 0u64;
                 for &(p, kind) in &graph.preds[n] {
@@ -201,7 +216,8 @@ pub fn schedule(
                         EdgeKind::Order => t0 = t0.max(issue[p] + 1),
                         EdgeKind::Data => {
                             let v = graph.insts[p].dst.expect("data edge has a value");
-                            let ready = value_ready[&(tile.index() as u32, v)];
+                            let ready = value_ready[ready_idx(tile, v)];
+                            debug_assert_ne!(ready, NOT_READY, "consumer before producer");
                             t0 = t0.max(ready);
                         }
                     }
@@ -226,13 +242,15 @@ pub fn schedule(
                 out.proc_ops[tile.index()].push((t, TileOp::Comp(n)));
                 issue[tid] = op_slot;
                 if let Some(v) = graph.insts[n].dst {
-                    value_ready.insert((tile.index() as u32, v), op_slot + graph.costs[n] as u64);
+                    value_ready[ready_idx(tile, v)] = op_slot + graph.costs[n] as u64;
                 }
                 out.makespan = out.makespan.max(op_slot + graph.costs[n] as u64);
             }
             Task::Comm { value, src, dsts } => {
-                let tree = MulticastTree::build(config, src, &dsts);
-                let t0 = value_ready[&(src.index() as u32, value)];
+                let (value, src) = (*value, *src);
+                let tree = MulticastTree::build(config, src, dsts);
+                let t0 = value_ready[ready_idx(src, value)];
+                debug_assert_ne!(t0, NOT_READY, "comm path before producer");
                 let mut t = t0;
                 'search: loop {
                     assert!(
@@ -273,7 +291,7 @@ pub fn schedule(
                         let arr = t + node.depth + 2;
                         proc_busy[node.tile.index()].insert(arr);
                         out.proc_ops[node.tile.index()].push((arr, TileOp::Recv(value)));
-                        value_ready.insert((node.tile.index() as u32, value), arr + 1);
+                        value_ready[ready_idx(node.tile, value)] = arr + 1;
                         out.makespan = out.makespan.max(arr + 1);
                     }
                 }

@@ -78,6 +78,12 @@ impl Channel {
         }
     }
 
+    /// True if a write is staged for commit at the end of this cycle (used by
+    /// the activity-tracked stepper to build its dirty-channel list).
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
     /// Number of words currently readable.
     pub fn len(&self) -> usize {
         self.queue.len()

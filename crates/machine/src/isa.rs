@@ -169,7 +169,10 @@ impl fmt::Display for AluOp {
 pub type Target = usize;
 
 /// Processor instructions.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Every field is plain data, so the whole instruction is `Copy` — the
+/// simulator fetches by value without touching the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PInst {
     /// ALU operation: `dst = op(a, b)`. For unary ops `b` is ignored.
     Alu {

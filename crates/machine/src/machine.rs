@@ -6,15 +6,42 @@
 //! completion, detecting deadlock (a cycle with no progress while work remains
 //! is a fixpoint, hence a true deadlock — unless chaos stalls are enabled, in
 //! which case a long no-progress streak is required).
+//!
+//! # Activity tracking
+//!
+//! The default stepper is *activity tracked*: components that provably cannot
+//! act this cycle are skipped, and only channels that staged a write are
+//! committed. The legal sleep states and their wake conditions (see DESIGN.md
+//! for the full invariants):
+//!
+//! * a **halted** processor (with drained port engine) or switch is dead and
+//!   never stepped again;
+//! * a processor stalled on the scoreboard (`RegNotReady`, no pending sends)
+//!   sleeps until the blocking register's ready cycle;
+//! * a processor stalled on an empty input port (no pending sends) sleeps until
+//!   the switch→processor channel commits;
+//! * a switch with a stalled route sleeps until any adjacent channel commits a
+//!   word or has a word consumed;
+//! * the dynamic network and the remote-memory handlers are skipped while no
+//!   flit, message, or in-flight request exists anywhere.
+//!
+//! Sleeping is *observationally identical* to stepping-and-stalling: per-cycle
+//! stall statistics for skipped cycles are back-filled on wake (minus cycles a
+//! chaos stall would have skipped in the reference), the chaos RNG stream is
+//! drawn in exactly the reference order, and the progress flag fed to the
+//! deadlock detector is reproduced cycle by cycle (a timed scoreboard sleep
+//! still counts as progress). [`Machine::with_reference_stepper`] selects the
+//! original step-everything path; the differential test suite asserts both
+//! produce bit-identical cycle counts, statistics, and memory.
 
 use crate::channel::Channel;
 use crate::chaos::{Chaos, ChaosConfig};
 use crate::config::MachineConfig;
 use crate::dynnet::{DynEndpoint, DynNet, Handler};
 use crate::isa::{Dir, MachineProgram, SDst, SInst, SSrc, TileCode, TileId, Word};
-use crate::processor::{ProcOutcome, Processor};
+use crate::processor::{ProcOutcome, Processor, StallCause};
 use crate::stats::Stats;
-use crate::switch::Switch;
+use crate::switch::{Switch, SwitchOutcome};
 use std::error::Error;
 use std::fmt;
 
@@ -59,6 +86,64 @@ pub struct RunReport {
     pub stats: Stats,
 }
 
+/// Activity state of a processor under the tracked stepper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcMode {
+    /// Stepped every cycle.
+    Active,
+    /// Timed scoreboard wait: cannot issue before `wake_at`.
+    SleepReg {
+        /// First cycle the blocking register is ready.
+        wake_at: u64,
+    },
+    /// Blocked on an empty input port; woken by a commit on sw→proc.
+    SleepPort,
+    /// Halted with the port engine drained; never steps again.
+    Dead,
+}
+
+/// Activity state of a switch under the tracked stepper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SwitchMode {
+    Active,
+    /// Route stalled; woken by any event on an adjacent channel.
+    Sleeping,
+    Dead,
+}
+
+/// Deferred stall accounting for a sleeping (or just-woken) component.
+///
+/// `since == u64::MAX` means no debt. Otherwise the component skipped every
+/// cycle in `since..now`; the reference stepper would have recorded one stall
+/// per skipped cycle *except* the `chaos_skips` cycles on which its chaos draw
+/// said "stall" (the reference records nothing on those). The debt is settled
+/// into [`Stats`] immediately before the component next steps, or at run end.
+#[derive(Clone, Copy, Debug)]
+struct SleepDebt {
+    since: u64,
+    chaos_skips: u64,
+    cause: StallCause,
+}
+
+impl SleepDebt {
+    const NONE: SleepDebt = SleepDebt {
+        since: u64::MAX,
+        chaos_skips: 0,
+        cause: StallCause::RegNotReady,
+    };
+
+    fn is_pending(&self) -> bool {
+        self.since != u64::MAX
+    }
+}
+
+/// One endpoint of a static-network channel (for wake routing).
+#[derive(Clone, Copy, Debug)]
+enum Comp {
+    ProcAt(usize),
+    SwitchAt(usize),
+}
+
 /// A simulated Raw machine loaded with a program.
 #[derive(Debug)]
 pub struct Machine {
@@ -80,6 +165,24 @@ pub struct Machine {
     cycle: u64,
     stats: Stats,
     chaos: Option<Chaos>,
+    /// Use the original step-everything path (differential testing).
+    reference: bool,
+    proc_mode: Vec<ProcMode>,
+    proc_debt: Vec<SleepDebt>,
+    switch_mode: Vec<SwitchMode>,
+    switch_debt: Vec<SleepDebt>,
+    /// Reading endpoint of each channel.
+    chan_reader: Vec<Comp>,
+    /// Writing endpoint of each channel.
+    chan_writer: Vec<Comp>,
+    /// Channels that staged a write this cycle (tracked commit list).
+    dirty: Vec<usize>,
+    /// Channels the last `step_switch` consumed a word from (wake scratch).
+    consumed: Vec<usize>,
+    /// Reusable scratch for route source values.
+    route_vals: Vec<(SSrc, Word)>,
+    /// True while any flit, dynamic message, or handler request may exist.
+    dyn_active: bool,
 }
 
 impl Machine {
@@ -93,21 +196,37 @@ impl Machine {
         let n = config.n_tiles() as usize;
         assert_eq!(program.tiles.len(), n, "program must cover all {n} tiles");
         let mut channels = Vec::new();
-        let alloc = |cap: usize, channels: &mut Vec<Channel>| {
+        let mut chan_reader = Vec::new();
+        let mut chan_writer = Vec::new();
+        let mut alloc = |cap: usize, writer: Comp, reader: Comp| {
             channels.push(Channel::new(cap));
+            chan_writer.push(writer);
+            chan_reader.push(reader);
             channels.len() - 1
         };
         let mut ps = Vec::with_capacity(n);
         let mut sp = Vec::with_capacity(n);
-        for _ in 0..n {
-            ps.push(alloc(config.port_capacity, &mut channels));
-            sp.push(alloc(config.port_capacity, &mut channels));
+        for t in 0..n {
+            ps.push(alloc(
+                config.port_capacity,
+                Comp::ProcAt(t),
+                Comp::SwitchAt(t),
+            ));
+            sp.push(alloc(
+                config.port_capacity,
+                Comp::SwitchAt(t),
+                Comp::ProcAt(t),
+            ));
         }
         let mut link_out = vec![[None; 4]; n];
         for (t, out) in link_out.iter_mut().enumerate() {
             for dir in Dir::ALL {
-                if config.neighbor(TileId(t as u32), dir).is_some() {
-                    out[dir.index()] = Some(alloc(config.port_capacity, &mut channels));
+                if let Some(nb) = config.neighbor(TileId(t as u32), dir) {
+                    out[dir.index()] = Some(alloc(
+                        config.port_capacity,
+                        Comp::SwitchAt(t),
+                        Comp::SwitchAt(nb.index()),
+                    ));
                 }
             }
         }
@@ -136,6 +255,17 @@ impl Machine {
             handlers,
             cycle: 0,
             chaos: None,
+            reference: false,
+            proc_mode: vec![ProcMode::Active; n],
+            proc_debt: vec![SleepDebt::NONE; n],
+            switch_mode: vec![SwitchMode::Active; n],
+            switch_debt: vec![SleepDebt::NONE; n],
+            chan_reader,
+            chan_writer,
+            dirty: Vec::new(),
+            consumed: Vec::new(),
+            route_vals: Vec::new(),
+            dyn_active: false,
             config,
         }
     }
@@ -143,6 +273,16 @@ impl Machine {
     /// Enables random stall injection (for static-ordering tests).
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(Chaos::new(chaos));
+        self
+    }
+
+    /// Selects the original step-everything path instead of activity tracking.
+    ///
+    /// Kept as the semantic reference: the differential test suite runs every
+    /// workload through both steppers and asserts identical cycle counts,
+    /// statistics, and final memory.
+    pub fn with_reference_stepper(mut self) -> Self {
+        self.reference = true;
         self
     }
 
@@ -157,6 +297,10 @@ impl Machine {
     }
 
     /// Execution statistics so far.
+    ///
+    /// Under the tracked stepper, per-cycle *stall* counters of currently
+    /// sleeping components are settled when they wake and at [`run`](Self::run)
+    /// exit; instruction, route, and word counters are always exact.
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
@@ -171,6 +315,11 @@ impl Machine {
         self.mems[tile.index()][addr as usize] = value;
     }
 
+    /// A tile's entire local memory (differential testing, diagnostics).
+    pub fn memory(&self, tile: TileId) -> &[Word] {
+        &self.mems[tile.index()]
+    }
+
     /// Copies `words` into a tile's memory starting at `base`.
     pub fn install_memory(&mut self, tile: TileId, base: u32, words: &[Word]) {
         let mem = &mut self.mems[tile.index()];
@@ -180,12 +329,6 @@ impl Machine {
     /// Reads a processor register (diagnostics).
     pub fn proc_reg(&self, tile: TileId, reg: u16) -> Word {
         self.procs[tile.index()].reg(reg)
-    }
-
-    /// The channel id of the incoming link at `t` from direction `dir`.
-    fn link_in(&self, t: usize, dir: Dir) -> Option<usize> {
-        let nb = self.config.neighbor(TileId(t as u32), dir)?;
-        self.link_out[nb.index()][dir.opposite().index()]
     }
 
     /// True when every processor and switch halted and all networks drained.
@@ -199,6 +342,15 @@ impl Machine {
 
     /// Advances the machine one cycle. Returns `true` if anything progressed.
     pub fn step(&mut self) -> bool {
+        if self.reference {
+            self.step_reference()
+        } else {
+            self.step_tracked()
+        }
+    }
+
+    /// The original stepper: every component steps, every channel commits.
+    fn step_reference(&mut self) -> bool {
         let n = self.config.n_tiles() as usize;
         let mut progress = false;
 
@@ -231,7 +383,7 @@ impl Machine {
                     // waiting out its producer's latency — is a *timed* wait
                     // that resolves by itself: it is not a deadlock symptom,
                     // so it counts as progress.
-                    if cause == crate::processor::StallCause::RegNotReady
+                    if cause == StallCause::RegNotReady
                         || self.procs[t].has_maturing_send(self.cycle)
                     {
                         progress = true;
@@ -248,7 +400,7 @@ impl Machine {
                     continue;
                 }
             }
-            if self.step_switch(t) {
+            if self.step_switch(t) == SwitchOutcome::Progress {
                 progress = true;
             }
         }
@@ -279,92 +431,390 @@ impl Machine {
                 progress = true;
             }
         }
+        self.dirty.clear();
 
         self.cycle += 1;
         progress
     }
 
-    fn step_switch(&mut self, t: usize) -> bool {
-        let code = std::mem::take(&mut self.code[t].switch);
-        let result = (|| {
-            let inst = match self.switches[t].fetch(&code) {
-                Some(i) => i.clone(),
-                None => return false,
+    /// The activity-tracked stepper (see the module docs for the invariants).
+    fn step_tracked(&mut self) -> bool {
+        let n = self.config.n_tiles() as usize;
+        let mut progress = false;
+        let mut run_dyn = self.dyn_active;
+
+        // Processors. The chaos draw happens for every tile in reference order
+        // even when the tile is skipped, so the RNG stream is identical.
+        for t in 0..n {
+            let chaos_stall = match &mut self.chaos {
+                Some(c) => c.stall(),
+                None => false,
             };
-            match &inst {
-                SInst::Route(pairs) => {
-                    // Phase 1: readiness of all sources and destinations.
-                    for (src, _) in pairs {
-                        let ready = match src {
-                            SSrc::Dir(d) => match self.link_in(t, *d) {
-                                Some(id) => self.channels[id].can_read(),
-                                None => panic!(
-                                    "tile{t} switch routes from {d:?} but there is no neighbour"
-                                ),
-                            },
-                            SSrc::Proc => self.channels[self.ps[t]].can_read(),
-                            SSrc::Reg(_) => true,
-                        };
-                        if !ready {
-                            self.stats.tiles[t].switch_stalls += 1;
-                            return false;
-                        }
+            match self.proc_mode[t] {
+                ProcMode::Dead => continue,
+                ProcMode::SleepReg { wake_at } => {
+                    if chaos_stall {
+                        self.proc_debt[t].chaos_skips += 1;
+                        continue;
                     }
-                    for (_, dst) in pairs {
-                        let ready = match dst {
-                            SDst::Dir(d) => match self.link_out[t][d.index()] {
-                                Some(id) => self.channels[id].can_write(),
-                                None => panic!(
-                                    "tile{t} switch routes to {d:?} but there is no neighbour"
-                                ),
-                            },
-                            SDst::Proc => self.channels[self.sp[t]].can_write(),
-                            SDst::Reg(_) => true,
-                        };
-                        if !ready {
-                            self.stats.tiles[t].switch_stalls += 1;
-                            return false;
-                        }
+                    if self.cycle < wake_at {
+                        // The reference steps, records a RegNotReady stall
+                        // (settled from the debt on wake) and counts the timed
+                        // wait as progress.
+                        progress = true;
+                        continue;
                     }
-                    // Phase 2: consume each distinct source once, then fan out.
-                    let mut values: Vec<(SSrc, Word)> = Vec::with_capacity(pairs.len());
-                    for (src, _) in pairs {
-                        if values.iter().any(|(s, _)| s == src) {
-                            continue;
-                        }
-                        let v = match src {
-                            SSrc::Dir(d) => {
-                                let id = self.link_in(t, *d).unwrap();
-                                self.channels[id].read()
-                            }
-                            SSrc::Proc => self.channels[self.ps[t]].read(),
-                            SSrc::Reg(r) => self.switches[t].reg(*r),
-                        };
-                        values.push((*src, v));
-                    }
-                    for (src, dst) in pairs {
-                        let v = values.iter().find(|(s, _)| s == src).unwrap().1;
-                        match dst {
-                            SDst::Dir(d) => {
-                                let id = self.link_out[t][d.index()].unwrap();
-                                self.channels[id].write(v);
-                            }
-                            SDst::Proc => self.channels[self.sp[t]].write(v),
-                            SDst::Reg(r) => self.switches[t].set_reg(*r, v),
-                        }
-                    }
-                    self.switches[t].advance();
-                    self.stats.tiles[t].switch_routes += 1;
-                    true
+                    // Timer matured: step this cycle.
+                    self.proc_mode[t] = ProcMode::Active;
                 }
-                other => {
-                    self.switches[t].exec_control(other);
-                    true
+                ProcMode::SleepPort => {
+                    if chaos_stall {
+                        self.proc_debt[t].chaos_skips += 1;
+                    }
+                    continue;
+                }
+                ProcMode::Active => {
+                    if chaos_stall {
+                        if self.proc_debt[t].is_pending() {
+                            self.proc_debt[t].chaos_skips += 1;
+                        }
+                        continue;
+                    }
                 }
             }
-        })();
-        self.code[t].switch = code;
-        result
+            self.settle_proc_debt(t);
+            let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
+            let pin_before = self.channels[pin_id].len();
+            let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
+            let outcome = self.procs[t].step(
+                &self.code[t].proc,
+                self.cycle,
+                &self.config,
+                &mut self.mems[t],
+                pin,
+                pout,
+                &mut self.endpoints[t],
+            );
+            // A consumed word frees space the tile's switch may be waiting on.
+            if self.channels[pin_id].len() < pin_before {
+                self.wake(Comp::SwitchAt(t));
+            }
+            if self.channels[pout_id].has_staged() {
+                self.dirty.push(pout_id);
+            }
+            if !self.endpoints[t].is_idle() {
+                run_dyn = true;
+            }
+            match outcome {
+                ProcOutcome::Progress => {
+                    self.stats.tiles[t].proc_insts += 1;
+                    progress = true;
+                    if self.procs[t].halted() {
+                        self.proc_mode[t] = ProcMode::Dead;
+                    }
+                }
+                ProcOutcome::Stalled(cause) => {
+                    self.stats.tiles[t].record_stall(cause);
+                    if cause == StallCause::RegNotReady
+                        || self.procs[t].has_maturing_send(self.cycle)
+                    {
+                        progress = true;
+                    }
+                    // A stall with no pending sends has no side effects to
+                    // perform: the processor may sleep if its wake condition
+                    // is observable (scoreboard timer or port commit).
+                    if self.procs[t].out_pending_empty() {
+                        match cause {
+                            StallCause::RegNotReady => {
+                                if let Some(wake_at) = self.procs[t].wake_hint() {
+                                    self.proc_mode[t] = ProcMode::SleepReg { wake_at };
+                                    self.proc_debt[t] = SleepDebt {
+                                        since: self.cycle + 1,
+                                        chaos_skips: 0,
+                                        cause,
+                                    };
+                                }
+                            }
+                            StallCause::PortInEmpty => {
+                                self.proc_mode[t] = ProcMode::SleepPort;
+                                self.proc_debt[t] = SleepDebt {
+                                    since: self.cycle + 1,
+                                    chaos_skips: 0,
+                                    cause,
+                                };
+                            }
+                            // PortOutFull implies pending sends (not reached
+                            // here); Dynamic waits are serviced by the handler
+                            // phase and stay active — they are rare and cheap.
+                            _ => {}
+                        }
+                    }
+                }
+                ProcOutcome::Halted => {
+                    self.proc_mode[t] = ProcMode::Dead;
+                }
+            }
+        }
+
+        // Switches.
+        for t in 0..n {
+            let chaos_stall = match &mut self.chaos {
+                Some(c) => c.stall(),
+                None => false,
+            };
+            match self.switch_mode[t] {
+                SwitchMode::Dead => continue,
+                SwitchMode::Sleeping => {
+                    if chaos_stall {
+                        self.switch_debt[t].chaos_skips += 1;
+                    }
+                    continue;
+                }
+                SwitchMode::Active => {
+                    if chaos_stall {
+                        if self.switch_debt[t].is_pending() {
+                            self.switch_debt[t].chaos_skips += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+            self.settle_switch_debt(t);
+            let outcome = self.step_switch(t);
+            // Words consumed by the route free space upstream writers may be
+            // waiting on.
+            for i in 0..self.consumed.len() {
+                let id = self.consumed[i];
+                self.wake(self.chan_writer[id]);
+            }
+            match outcome {
+                SwitchOutcome::Progress => progress = true,
+                SwitchOutcome::Stalled => {
+                    self.switch_mode[t] = SwitchMode::Sleeping;
+                    self.switch_debt[t] = SleepDebt {
+                        since: self.cycle + 1,
+                        chaos_skips: 0,
+                        cause: StallCause::RegNotReady, // unused for switches
+                    };
+                }
+                SwitchOutcome::Halted => {
+                    self.switch_mode[t] = SwitchMode::Dead;
+                }
+            }
+        }
+
+        // Dynamic network and handlers, skipped entirely while quiescent.
+        if run_dyn {
+            if self.dynnet.step(&mut self.endpoints) {
+                self.stats.dyn_active_cycles += 1;
+                progress = true;
+            }
+            for t in 0..n {
+                if self.handlers[t].step(
+                    t as u32,
+                    self.cycle,
+                    self.config.mem_latency,
+                    &mut self.mems[t],
+                    &mut self.endpoints[t],
+                ) || !self.handlers[t].is_idle()
+                {
+                    progress = true;
+                }
+            }
+            self.dyn_active = !self.dynnet.is_idle()
+                || self.endpoints.iter().any(|e| !e.is_idle())
+                || self.handlers.iter().any(|h| !h.is_idle());
+        }
+
+        // Commit exactly the channels that staged a write this cycle; each
+        // commit wakes both endpoints (reader gains a word, writer regains
+        // staging space).
+        for i in 0..self.dirty.len() {
+            let id = self.dirty[i];
+            let committed = self.channels[id].commit();
+            debug_assert!(committed, "dirty channel had nothing staged");
+            self.stats.static_words += 1;
+            progress = true;
+            self.wake(self.chan_reader[id]);
+            self.wake(self.chan_writer[id]);
+        }
+        self.dirty.clear();
+
+        self.cycle += 1;
+        progress
+    }
+
+    /// Makes a sleeping component eligible to step again. Its stall debt stays
+    /// pending and is settled right before the next actual step, so a spurious
+    /// wake is harmless: the component re-stalls, re-records the same stall the
+    /// reference would, and goes back to sleep.
+    fn wake(&mut self, c: Comp) {
+        match c {
+            Comp::ProcAt(t) => {
+                if matches!(
+                    self.proc_mode[t],
+                    ProcMode::SleepReg { .. } | ProcMode::SleepPort
+                ) {
+                    self.proc_mode[t] = ProcMode::Active;
+                }
+            }
+            Comp::SwitchAt(t) => {
+                if self.switch_mode[t] == SwitchMode::Sleeping {
+                    self.switch_mode[t] = SwitchMode::Active;
+                }
+            }
+        }
+    }
+
+    /// Settles a processor's deferred stall statistics up to (not including)
+    /// the current cycle.
+    fn settle_proc_debt(&mut self, t: usize) {
+        let debt = self.proc_debt[t];
+        if !debt.is_pending() {
+            return;
+        }
+        let skipped = self.cycle - debt.since;
+        debug_assert!(debt.chaos_skips <= skipped);
+        let stalls = skipped - debt.chaos_skips;
+        match debt.cause {
+            StallCause::RegNotReady => self.stats.tiles[t].stall_reg += stalls,
+            StallCause::PortInEmpty => self.stats.tiles[t].stall_port_in += stalls,
+            _ => unreachable!("processors only sleep on reg/port-in stalls"),
+        }
+        self.proc_debt[t] = SleepDebt::NONE;
+    }
+
+    /// Settles a switch's deferred stall statistics up to (not including) the
+    /// current cycle.
+    fn settle_switch_debt(&mut self, t: usize) {
+        let debt = self.switch_debt[t];
+        if !debt.is_pending() {
+            return;
+        }
+        let skipped = self.cycle - debt.since;
+        debug_assert!(debt.chaos_skips <= skipped);
+        self.stats.tiles[t].switch_stalls += skipped - debt.chaos_skips;
+        self.switch_debt[t] = SleepDebt::NONE;
+    }
+
+    /// Settles every outstanding stall debt (run exit, before reporting).
+    fn flush_sleep_stats(&mut self) {
+        for t in 0..self.config.n_tiles() as usize {
+            self.settle_proc_debt(t);
+            self.settle_switch_debt(t);
+        }
+    }
+
+    /// Steps one switch. Fetch reads the code in place, consumed channel ids
+    /// are recorded in `self.consumed`, staged writes are pushed onto
+    /// `self.dirty`, and route values go through a reusable scratch buffer —
+    /// the whole path is allocation-free after warm-up.
+    fn step_switch(&mut self, t: usize) -> SwitchOutcome {
+        let Machine {
+            config,
+            code,
+            switches,
+            channels,
+            ps,
+            sp,
+            link_out,
+            stats,
+            dirty,
+            consumed,
+            route_vals,
+            ..
+        } = self;
+        consumed.clear();
+        let sw = &mut switches[t];
+        let Some(inst) = sw.fetch(&code[t].switch) else {
+            return SwitchOutcome::Halted;
+        };
+        match inst {
+            SInst::Route(pairs) => {
+                let link_in = |d: Dir| -> Option<usize> {
+                    config
+                        .neighbor(TileId(t as u32), d)
+                        .and_then(|nb| link_out[nb.index()][d.opposite().index()])
+                };
+                // Phase 1: readiness of all sources and destinations.
+                for (src, _) in pairs {
+                    let ready = match src {
+                        SSrc::Dir(d) => match link_in(*d) {
+                            Some(id) => channels[id].can_read(),
+                            None => {
+                                panic!("tile{t} switch routes from {d:?} but there is no neighbour")
+                            }
+                        },
+                        SSrc::Proc => channels[ps[t]].can_read(),
+                        SSrc::Reg(_) => true,
+                    };
+                    if !ready {
+                        stats.tiles[t].switch_stalls += 1;
+                        return SwitchOutcome::Stalled;
+                    }
+                }
+                for (_, dst) in pairs {
+                    let ready = match dst {
+                        SDst::Dir(d) => match link_out[t][d.index()] {
+                            Some(id) => channels[id].can_write(),
+                            None => {
+                                panic!("tile{t} switch routes to {d:?} but there is no neighbour")
+                            }
+                        },
+                        SDst::Proc => channels[sp[t]].can_write(),
+                        SDst::Reg(_) => true,
+                    };
+                    if !ready {
+                        stats.tiles[t].switch_stalls += 1;
+                        return SwitchOutcome::Stalled;
+                    }
+                }
+                // Phase 2: consume each distinct source once, then fan out.
+                route_vals.clear();
+                for (src, _) in pairs {
+                    if route_vals.iter().any(|(s, _)| s == src) {
+                        continue;
+                    }
+                    let v = match src {
+                        SSrc::Dir(d) => {
+                            let id = link_in(*d).unwrap();
+                            consumed.push(id);
+                            channels[id].read()
+                        }
+                        SSrc::Proc => {
+                            let id = ps[t];
+                            consumed.push(id);
+                            channels[id].read()
+                        }
+                        SSrc::Reg(r) => sw.reg(*r),
+                    };
+                    route_vals.push((*src, v));
+                }
+                for (src, dst) in pairs {
+                    let v = route_vals.iter().find(|(s, _)| s == src).unwrap().1;
+                    match dst {
+                        SDst::Dir(d) => {
+                            let id = link_out[t][d.index()].unwrap();
+                            channels[id].write(v);
+                            dirty.push(id);
+                        }
+                        SDst::Proc => {
+                            let id = sp[t];
+                            channels[id].write(v);
+                            dirty.push(id);
+                        }
+                        SDst::Reg(r) => sw.set_reg(*r, v),
+                    }
+                }
+                sw.advance();
+                stats.tiles[t].switch_routes += 1;
+                SwitchOutcome::Progress
+            }
+            other => {
+                sw.exec_control(other);
+                SwitchOutcome::Progress
+            }
+        }
     }
 
     /// Runs until completion.
@@ -380,6 +830,7 @@ impl Machine {
         let mut no_progress = 0u64;
         while !self.finished() {
             if self.cycle >= self.config.step_limit {
+                self.flush_sleep_stats();
                 return Err(SimError::StepLimitExceeded {
                     limit: self.config.step_limit,
                 });
@@ -389,6 +840,7 @@ impl Machine {
             } else {
                 no_progress += 1;
                 if no_progress >= deadlock_streak {
+                    self.flush_sleep_stats();
                     return Err(SimError::Deadlock {
                         cycle: self.cycle,
                         detail: self.deadlock_detail(),
@@ -396,6 +848,7 @@ impl Machine {
                 }
             }
         }
+        self.flush_sleep_stats();
         Ok(RunReport {
             // The final counted cycle is the one in which the last component
             // halted; trailing no-progress cycles are not charged.
@@ -713,5 +1166,121 @@ mod tests {
         let mut m = Machine::new(MachineConfig::grid(1, 1), &MachineProgram::empty(1));
         m.install_memory(TileId(0), 10, &[1, 2, 3]);
         assert_eq!(m.mem_word(TileId(0), 11), 2);
+    }
+
+    #[test]
+    fn reference_stepper_matches_tracked() {
+        // The dedicated differential suite covers compiled workloads; this is
+        // the in-crate smoke check on a hand-written program.
+        let run = |reference: bool| {
+            let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
+            if reference {
+                m = m.with_reference_stepper();
+            }
+            let report = m.run().expect("completes");
+            (report.cycles, report.stats, m.mem_word(TileId(1), 0))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn all_timed_waits_is_not_deadlock() {
+        // Every component of the machine is simultaneously in a timed wait:
+        // the only processor sits out a 12-cycle multiply scoreboard stall and
+        // the switch is halted. The activity tracker puts the whole machine to
+        // sleep; the deadlock detector must still see progress.
+        let mut a = ProcAsm::new();
+        a.bin(
+            BinOp::Mul,
+            Dst::Reg(1),
+            Src::Imm(Imm::I(6)),
+            Src::Imm(Imm::I(7)),
+        );
+        a.addi(Dst::Reg(2), Src::Reg(1), 0);
+        a.store_imm_addr(Src::Reg(2), 0);
+        a.halt();
+        let program = MachineProgram {
+            tiles: vec![TileCode {
+                proc: a.finish(),
+                switch: vec![SInst::Halt],
+            }],
+        };
+        let mut m = Machine::new(MachineConfig::grid(1, 1), &program);
+        let report = m.run().expect("timed waits must not be deadlock");
+        assert_eq!(m.mem_word(TileId(0), 0), 42);
+        // Issue mul at 0, add stalls until 12, store at 13, halt at 14.
+        assert_eq!(report.cycles, 15);
+        assert_eq!(report.stats.tiles[0].stall_reg, 11);
+    }
+
+    #[test]
+    fn near_deadlock_with_chaos_completes() {
+        // Tile 1 blocks on its input port for the full latency of tile 0's
+        // multiply — a near-deadlock (long stretch with only timed waits) —
+        // while chaos stalls perturb every component. The run must complete
+        // with the correct result, not be misreported as deadlock.
+        let mut p0 = ProcAsm::new();
+        p0.bin(
+            BinOp::Mul,
+            Dst::PortOut,
+            Src::Imm(Imm::I(6)),
+            Src::Imm(Imm::I(7)),
+        );
+        p0.halt();
+        let mut s0 = SwitchAsm::new();
+        s0.route(&[(SSrc::Proc, SDst::Dir(Dir::East))]);
+        s0.halt();
+        let mut s1 = SwitchAsm::new();
+        s1.route(&[(SSrc::Dir(Dir::West), SDst::Proc)]);
+        s1.halt();
+        let mut p1 = ProcAsm::new();
+        p1.recv(Dst::Reg(1));
+        p1.store_imm_addr(Src::Reg(1), 0);
+        p1.halt();
+        let program = MachineProgram {
+            tiles: vec![
+                TileCode {
+                    proc: p0.finish(),
+                    switch: s0.finish(),
+                },
+                TileCode {
+                    proc: p1.finish(),
+                    switch: s1.finish(),
+                },
+            ],
+        };
+        for seed in [3u64, 11, 19, 27] {
+            let mut m = Machine::new(MachineConfig::grid(1, 2), &program).with_chaos(ChaosConfig {
+                seed,
+                stall_percent: 50,
+            });
+            m.run().expect("near-deadlock with chaos completes");
+            assert_eq!(m.mem_word(TileId(1), 0), 42, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn genuine_deadlock_still_detected_with_chaos() {
+        // A true deadlock (receive with no sender) must still be reported when
+        // chaos stalls are enabled and most components are asleep.
+        let mut p0 = ProcAsm::new();
+        p0.recv(Dst::Reg(1));
+        p0.halt();
+        let program = MachineProgram {
+            tiles: vec![TileCode {
+                proc: p0.finish(),
+                switch: vec![SInst::Halt],
+            }],
+        };
+        let mut m = Machine::new(MachineConfig::grid(1, 1), &program).with_chaos(ChaosConfig {
+            seed: 5,
+            stall_percent: 30,
+        });
+        match m.run() {
+            Err(SimError::Deadlock { detail, .. }) => {
+                assert!(detail.contains("tile0.proc"), "{detail}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
     }
 }

@@ -36,7 +36,7 @@ pub enum ProcOutcome {
     Halted,
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum DynState {
     Idle,
     WaitLoad { dst: Dst },
@@ -54,6 +54,9 @@ pub struct Processor {
     dyn_state: DynState,
     /// Port writes awaiting their producer latency: `(visible_at, word)`.
     out_pending: VecDeque<(u64, Word)>,
+    /// When the last [`step`](Self::step) stalled on [`StallCause::RegNotReady`]
+    /// at issue, the cycle at which the blocking register becomes ready.
+    wake_hint: Option<u64>,
 }
 
 /// Maximum number of in-flight delayed port writes before issue stalls.
@@ -70,6 +73,7 @@ impl Processor {
             ready: vec![0; gprs as usize],
             dyn_state: DynState::Idle,
             out_pending: VecDeque::new(),
+            wake_hint: None,
         }
     }
 
@@ -95,6 +99,19 @@ impl Processor {
         self.out_pending
             .front()
             .is_some_and(|&(when, _)| cycle < when)
+    }
+
+    /// True if no delayed port write is in flight.
+    pub fn out_pending_empty(&self) -> bool {
+        self.out_pending.is_empty()
+    }
+
+    /// If the last step stalled at issue on a not-yet-ready register, the cycle
+    /// at which that register becomes ready — i.e. the earliest cycle the
+    /// processor can possibly issue. Used by the activity-tracked stepper to
+    /// put the processor into a timed sleep.
+    pub fn wake_hint(&self) -> Option<u64> {
+        self.wake_hint
     }
 
     fn src_ready(&self, src: Src, cycle: u64, port_in: &Channel) -> Result<(), StallCause> {
@@ -157,6 +174,7 @@ impl Processor {
         port_out: &mut Channel,
         dyn_ep: &mut DynEndpoint,
     ) -> ProcOutcome {
+        self.wake_hint = None;
         // Drain one matured pending send per cycle (the port engine).
         let mut drained = false;
         if let Some(&(when, word)) = self.out_pending.front() {
@@ -185,7 +203,7 @@ impl Processor {
         }
 
         // Dynamic-network wait states block issue until the reply arrives.
-        match self.dyn_state.clone() {
+        match self.dyn_state {
             DynState::WaitLoad { dst } => {
                 if let Some(msg) = dyn_ep.proc_inbox.pop_front() {
                     debug_assert_eq!(msg.kind, MsgKind::LoadReply);
@@ -207,7 +225,7 @@ impl Processor {
         }
 
         let inst = match code.get(self.pc) {
-            Some(i) => i.clone(),
+            Some(&i) => i,
             None => {
                 // Running off the end is treated as halt.
                 self.halted = true;
@@ -215,9 +233,28 @@ impl Processor {
             }
         };
 
-        // Readiness checks (no side effects yet).
-        for src in inst.sources() {
+        // Readiness checks in operand order (no side effects yet). Checked
+        // inline rather than via `PInst::sources()` to keep the hot path free
+        // of per-cycle allocations.
+        let srcs: [Option<Src>; 2] = match inst {
+            PInst::Alu { op, a, b, .. } => match op {
+                crate::isa::AluOp::Un(_) => [Some(a), None],
+                crate::isa::AluOp::Bin(_) => [Some(a), Some(b)],
+            },
+            PInst::Load { addr, .. } => [Some(addr), None],
+            PInst::Store { value, addr, .. } => [Some(value), Some(addr)],
+            PInst::DLoad { gaddr, .. } => [Some(gaddr), None],
+            PInst::DStore { gaddr, value } => [Some(gaddr), Some(value)],
+            PInst::Bnez { cond, .. } | PInst::Beqz { cond, .. } => [Some(cond), None],
+            PInst::Jump(_) | PInst::Halt | PInst::Nop => [None, None],
+        };
+        for src in srcs.into_iter().flatten() {
             if let Err(cause) = self.src_ready(src, cycle, port_in) {
+                if cause == StallCause::RegNotReady {
+                    if let Src::Reg(r) = src {
+                        self.wake_hint = Some(self.ready[r as usize]);
+                    }
+                }
                 return ProcOutcome::Stalled(cause);
             }
         }

@@ -1,0 +1,119 @@
+//! Differential validation of the activity-tracked stepper.
+//!
+//! The tracked stepper skips sleeping components and commits only dirty
+//! channels; it claims to be *observationally identical* to the original
+//! step-everything path (kept as `Machine::with_reference_stepper`). This
+//! suite runs every `raw-benchmarks` workload — and a chaos sweep over stall
+//! rates, seeds, and mesh shapes — through both steppers and asserts
+//! bit-identical cycle counts, statistics, and final memory.
+
+use raw_repro::cc::{compile, CompiledProgram, CompilerOptions};
+use raw_repro::ir::Program;
+use raw_repro::machine::chaos::ChaosConfig;
+use raw_repro::machine::isa::TileId;
+use raw_repro::machine::{Machine, MachineConfig, RunReport};
+
+/// Runs `machine` to completion and snapshots everything observable.
+fn observe(mut machine: Machine, label: &str) -> (RunReport, Vec<Vec<u32>>) {
+    let report = machine.run().unwrap_or_else(|e| panic!("{label}: {e}"));
+    let n = machine.config().n_tiles();
+    let mems = (0..n).map(|t| machine.memory(TileId(t)).to_vec()).collect();
+    (report, mems)
+}
+
+/// Asserts both steppers agree on cycles, stats, and memory.
+fn assert_equivalent(
+    compiled: &CompiledProgram,
+    program: &Program,
+    chaos: Option<ChaosConfig>,
+    label: &str,
+) {
+    let with_chaos = |mut m: Machine| {
+        if let Some(c) = chaos {
+            m = m.with_chaos(c);
+        }
+        m
+    };
+    let tracked = with_chaos(compiled.instantiate(program));
+    let reference = with_chaos(compiled.instantiate(program).with_reference_stepper());
+    let (t_report, t_mems) = observe(tracked, label);
+    let (r_report, r_mems) = observe(reference, label);
+    assert_eq!(t_report.cycles, r_report.cycles, "{label}: cycle count");
+    assert_eq!(t_report.stats, r_report.stats, "{label}: stats");
+    assert_eq!(t_mems, r_mems, "{label}: final memory");
+}
+
+#[test]
+fn every_workload_matches_reference() {
+    for bench in raw_repro::benchmarks::tiny_suite() {
+        let program = bench.program(4).unwrap();
+        let config = MachineConfig::square(4);
+        let compiled = compile(&program, &config, &CompilerOptions::default())
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", bench.name));
+        assert_equivalent(&compiled, &program, None, bench.name);
+    }
+}
+
+#[test]
+fn chaos_sweep_matches_reference() {
+    // Same sweep shape as the Appendix-A static-ordering test: stall rates
+    // {1, 5, 20, 50}% × seeds × two mesh shapes. Chaos draws one RNG value per
+    // component per cycle in the reference; the tracked stepper must consume
+    // the stream in exactly the same order even while components sleep.
+    let bench = raw_repro::benchmarks::jacobi(8, 1);
+    let program = bench.program(4).unwrap();
+    let mut seed_rng = raw_testkit::Rng::new(0x000A_110C_8A05);
+    let seeds: Vec<u64> = (0..4).map(|_| seed_rng.next_u64()).collect();
+
+    for (rows, cols) in [(2u32, 2), (1, 4)] {
+        let config = MachineConfig::grid(rows, cols);
+        let compiled = compile(&program, &config, &CompilerOptions::default())
+            .unwrap_or_else(|e| panic!("{rows}x{cols}: compile: {e}"));
+        assert_equivalent(&compiled, &program, None, &format!("{rows}x{cols} clean"));
+        for &seed in &seeds {
+            for stall_percent in [1u32, 5, 20, 50] {
+                assert_equivalent(
+                    &compiled,
+                    &program,
+                    Some(ChaosConfig {
+                        seed,
+                        stall_percent,
+                    }),
+                    &format!("{rows}x{cols} seed {seed:#x} {stall_percent}%"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_network_workload_matches_reference() {
+    // Data-dependent addressing exercises the dynamic network and the remote
+    // memory handlers — the components the tracked stepper gates hardest.
+    let src = "
+        int i; int k;
+        int D[16];
+        int H[4];
+        for (i = 0; i < 16; i = i + 1) {
+            k = D[i] % 4;
+            H[k] = H[k] + 1;
+        }
+    ";
+    let mut program = raw_repro::lang::compile_source("hist", src, 4).unwrap();
+    let d = program.array_by_name("D").unwrap();
+    program.arrays[d.index()].init = (0..16).map(|k| raw_repro::ir::Imm::I(k * 3)).collect();
+    let config = MachineConfig::square(4);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    assert_equivalent(&compiled, &program, None, "hist clean");
+    for seed in [7u64, 13, 21] {
+        assert_equivalent(
+            &compiled,
+            &program,
+            Some(ChaosConfig {
+                seed,
+                stall_percent: 30,
+            }),
+            &format!("hist seed {seed}"),
+        );
+    }
+}
