@@ -10,13 +10,68 @@
 //! grew by more than the threshold (default 15%), the tool exits non-zero.
 //! Targets present in only one file are reported but never fail the run, so a
 //! suite can gain or retire targets without breaking CI.
+//!
+//! Broken inputs are distinct, loud errors (exit code 2), never a silent
+//! pass: an unreadable file, a file with no records, a malformed record, and
+//! two files with no targets in common each get their own diagnosis.
 
+use std::fmt;
 use std::process::ExitCode;
 
 /// One parsed record: target name and median nanoseconds.
 struct Entry {
     name: String,
     median_ns: f64,
+}
+
+/// Everything that makes a comparison impossible (as opposed to a legitimate
+/// regression verdict). Each case exits with code 2.
+#[derive(Debug, PartialEq)]
+enum DiffError {
+    /// A snapshot file could not be read at all.
+    Unreadable { path: String, cause: String },
+    /// A snapshot file exists but holds no benchmark records.
+    Empty { path: String },
+    /// A line in a snapshot is not a harness record.
+    Malformed {
+        path: String,
+        line: usize,
+        missing: &'static str,
+    },
+    /// The two snapshots share no target: almost certainly different suites
+    /// (e.g. BENCH_simulator.json diffed against BENCH_paper_tables.json).
+    SuiteMismatch { old: String, new: String },
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Unreadable { path, cause } => {
+                write!(f, "cannot read {path}: {cause}")
+            }
+            DiffError::Empty { path } => {
+                write!(
+                    f,
+                    "{path}: no benchmark records (empty snapshot — did the \
+                     bench run produce output?)"
+                )
+            }
+            DiffError::Malformed {
+                path,
+                line,
+                missing,
+            } => {
+                write!(f, "{path}:{line}: malformed record (no {missing} field)")
+            }
+            DiffError::SuiteMismatch { old, new } => {
+                write!(
+                    f,
+                    "{old} and {new} share no benchmark target — these look \
+                     like snapshots of different suites"
+                )
+            }
+        }
+    }
 }
 
 /// Extracts the string value of `"name":"…"` from one JSON line, handling the
@@ -45,24 +100,42 @@ fn parse_median(line: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn parse_file(path: &str) -> Result<Vec<Entry>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn parse_file(path: &str) -> Result<Vec<Entry>, DiffError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DiffError::Unreadable {
+        path: path.to_string(),
+        cause: e.to_string(),
+    })?;
     let mut entries = Vec::new();
     for (ln, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let name = parse_name(line).ok_or(format!("{path}:{}: no \"name\" field", ln + 1))?;
-        let median_ns =
-            parse_median(line).ok_or(format!("{path}:{}: no \"median_ns\" field", ln + 1))?;
+        let malformed = |missing| DiffError::Malformed {
+            path: path.to_string(),
+            line: ln + 1,
+            missing,
+        };
+        let name = parse_name(line).ok_or_else(|| malformed("\"name\""))?;
+        let median_ns = parse_median(line).ok_or_else(|| malformed("\"median_ns\""))?;
         entries.push(Entry { name, median_ns });
+    }
+    if entries.is_empty() {
+        return Err(DiffError::Empty {
+            path: path.to_string(),
+        });
     }
     Ok(entries)
 }
 
-fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, String> {
+fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, DiffError> {
     let old = parse_file(old_path)?;
     let new = parse_file(new_path)?;
+    if !new.iter().any(|n| old.iter().any(|o| o.name == n.name)) {
+        return Err(DiffError::SuiteMismatch {
+            old: old_path.to_string(),
+            new: new_path.to_string(),
+        });
+    }
     let mut ok = true;
     println!(
         "{:<40} {:>12} {:>12} {:>8}",
@@ -156,5 +229,91 @@ mod tests {
     fn parses_escaped_names() {
         let line = "{\"name\":\"odd\\\"quote\\\\slash\",\"median_ns\":1.0}";
         assert_eq!(parse_name(line).unwrap(), "odd\"quote\\slash");
+    }
+
+    /// A scratch file removed on drop, unique to this test and process.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str, content: &str) -> Scratch {
+            let path = std::env::temp_dir()
+                .join(format!("bench_diff_test_{}_{tag}.json", std::process::id()));
+            std::fs::write(&path, content).unwrap();
+            Scratch(path)
+        }
+
+        fn path(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    const RECORD_A: &str = "{\"name\":\"sim/mxm/4\",\"median_ns\":100.0}\n";
+    const RECORD_B: &str = "{\"name\":\"tables/life/8\",\"median_ns\":50.0}\n";
+
+    #[test]
+    fn missing_file_is_a_distinct_error() {
+        let ok = Scratch::new("missing_ok", RECORD_A);
+        let gone = std::env::temp_dir().join(format!(
+            "bench_diff_test_{}_does_not_exist.json",
+            std::process::id()
+        ));
+        let err = run(gone.to_str().unwrap(), ok.path(), 15.0).unwrap_err();
+        assert!(matches!(err, DiffError::Unreadable { .. }), "got {err:?}");
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn empty_file_is_a_distinct_error() {
+        let ok = Scratch::new("empty_ok", RECORD_A);
+        let empty = Scratch::new("empty", "\n  \n");
+        let err = run(ok.path(), empty.path(), 15.0).unwrap_err();
+        assert!(matches!(err, DiffError::Empty { .. }), "got {err:?}");
+        assert!(err.to_string().contains("no benchmark records"), "{err}");
+    }
+
+    #[test]
+    fn suite_mismatch_is_a_distinct_error() {
+        let a = Scratch::new("mismatch_a", RECORD_A);
+        let b = Scratch::new("mismatch_b", RECORD_B);
+        let err = run(a.path(), b.path(), 15.0).unwrap_err();
+        assert!(
+            matches!(err, DiffError::SuiteMismatch { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("share no benchmark target"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_record_is_a_distinct_error() {
+        let a = Scratch::new("malformed_ok", RECORD_A);
+        let bad = Scratch::new("malformed", "{\"median_ns\":1.0}\n");
+        let err = run(a.path(), bad.path(), 15.0).unwrap_err();
+        assert!(
+            matches!(err, DiffError::Malformed { line: 1, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn self_comparison_still_passes() {
+        let a = Scratch::new("self", RECORD_A);
+        assert_eq!(run(a.path(), a.path(), 15.0), Ok(true));
+    }
+
+    #[test]
+    fn regression_detected_above_threshold() {
+        let old = Scratch::new("reg_old", RECORD_A);
+        let new = Scratch::new("reg_new", "{\"name\":\"sim/mxm/4\",\"median_ns\":130.0}\n");
+        assert_eq!(run(old.path(), new.path(), 15.0), Ok(false));
+        assert_eq!(run(old.path(), new.path(), 50.0), Ok(true));
     }
 }

@@ -16,6 +16,8 @@
 //! Every measured run is checked bit-exactly against the reference
 //! interpreter before its cycle count is reported.
 
+pub mod observe;
+
 use raw_benchmarks::Benchmark;
 use raw_ir::interp::Interpreter;
 use raw_ir::Program;

@@ -6,6 +6,7 @@
 //! raw-bench --table3 --sizes 1,2,4,8
 //! raw-bench --quick              # tiny suite (CI-friendly)
 //! raw-bench --bench mxm --table3 # restrict to one benchmark
+//! raw-bench trace --bench mxm --tiles 16 --chrome out.json
 //! ```
 
 use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
@@ -17,6 +18,14 @@ raw-bench — regenerate the tables and figures of
 
 USAGE:
     raw-bench [FLAGS]
+    raw-bench trace [--bench NAME] [--tiles N] [--chrome PATH] [--selfcheck] [--quick]
+
+SUBCOMMANDS:
+    trace           run one benchmark with cycle-accurate tracing and print the
+                    occupancy/stall table, link heatmap, critical-path walk,
+                    and predicted-vs-observed diff; --chrome exports
+                    Chrome-trace JSON, --selfcheck re-runs untraced and
+                    verifies bit-identical cycle counts
 
 FLAGS:
     --table1        operation latencies (Table 1)
@@ -34,6 +43,25 @@ FLAGS:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        let parsed = match raw_bench::observe::TraceArgs::parse(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("raw-bench trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match raw_bench::observe::trace_command(&parsed) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("raw-bench trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return ExitCode::SUCCESS;

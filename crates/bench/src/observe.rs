@@ -1,0 +1,228 @@
+//! The `raw-bench trace` subcommand: compile a benchmark, run it with the
+//! recording event sink, and render the observability reports (occupancy
+//! table, link heatmap, critical path, predicted-vs-observed, phase timings),
+//! optionally exporting a Chrome-trace JSON file.
+
+use raw_machine::MachineConfig;
+use raw_trace::{chrome, json, report, run_traced};
+use rawcc::{compile, CompilerOptions};
+use std::fmt::Write as _;
+
+/// Parsed arguments of `raw-bench trace`.
+#[derive(Clone, Debug)]
+pub struct TraceArgs {
+    /// Benchmark name (from the paper suite).
+    pub bench: String,
+    /// Machine size in tiles (power of two).
+    pub tiles: u32,
+    /// Write Chrome-trace JSON here.
+    pub chrome_out: Option<String>,
+    /// Cross-check the traced run against an untraced one.
+    pub selfcheck: bool,
+    /// Use the scaled-down suite.
+    pub quick: bool,
+}
+
+impl TraceArgs {
+    /// Parses the argument list following the `trace` subcommand word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Result<TraceArgs, String> {
+        let mut out = TraceArgs {
+            bench: "mxm".to_string(),
+            tiles: 4,
+            chrome_out: None,
+            selfcheck: false,
+            quick: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{} requires a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--bench" => {
+                    out.bench = need(i)?.clone();
+                    i += 2;
+                }
+                "--tiles" => {
+                    out.tiles = need(i)?
+                        .parse()
+                        .map_err(|_| "--tiles must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--chrome" => {
+                    out.chrome_out = Some(need(i)?.clone());
+                    i += 2;
+                }
+                "--selfcheck" => {
+                    out.selfcheck = true;
+                    i += 1;
+                }
+                "--quick" => {
+                    out.quick = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown trace flag '{other}'")),
+            }
+        }
+        if !out.tiles.is_power_of_two() {
+            return Err(format!("machine size {} is not a power of two", out.tiles));
+        }
+        Ok(out)
+    }
+}
+
+/// Runs the trace subcommand, returning the rendered report text.
+///
+/// # Errors
+///
+/// Returns a message on unknown benchmark, compile/simulation failure,
+/// self-check divergence, or Chrome-export I/O failure.
+pub fn trace_command(args: &TraceArgs) -> Result<String, String> {
+    let suite = if args.quick {
+        raw_benchmarks::tiny_suite()
+    } else {
+        raw_benchmarks::suite()
+    };
+    let bench = suite.iter().find(|b| b.name == args.bench).ok_or_else(|| {
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        format!(
+            "unknown benchmark '{}' (available: {})",
+            args.bench,
+            names.join(", ")
+        )
+    })?;
+    let program = bench
+        .program(args.tiles)
+        .map_err(|e| format!("{}: source compile failed: {e}", bench.name))?;
+    let config = MachineConfig::square(args.tiles);
+    let compiled = compile(&program, &config, &CompilerOptions::default())
+        .map_err(|e| format!("{}: compile failed: {e}", bench.name))?;
+    let run = run_traced(&compiled, &program)
+        .map_err(|e| format!("{}: traced simulation failed: {e}", bench.name))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} on {} tile(s) ({}x{} mesh), {} cycles, {} events\n",
+        bench.name,
+        args.tiles,
+        config.rows,
+        config.cols,
+        run.report.cycles,
+        run.trace.events.len()
+    );
+    out.push_str(&report::phase_table(&compiled.report.timings));
+    out.push('\n');
+    out.push_str(&report::occupancy_table(&run.trace));
+    out.push('\n');
+    out.push_str(&report::link_heatmap(&run.trace));
+    out.push('\n');
+    out.push_str(&report::critical_path(&run.trace));
+    out.push('\n');
+    out.push_str(&report::predicted_vs_observed(&run.trace, &compiled.report));
+
+    if args.selfcheck {
+        let (_, plain) = compiled
+            .run(&program)
+            .map_err(|e| format!("{}: untraced simulation failed: {e}", bench.name))?;
+        if plain.cycles != run.report.cycles || plain.stats != run.report.stats {
+            return Err(format!(
+                "{}: traced run diverged from untraced run ({} vs {} cycles)",
+                bench.name, run.report.cycles, plain.cycles
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "\nselfcheck: traced and untraced runs agree ({} cycles)",
+            plain.cycles
+        );
+    }
+
+    if let Some(path) = &args.chrome_out {
+        let doc = chrome::chrome_trace(&run.trace);
+        json::parse(&doc).map_err(|e| format!("chrome export is not valid JSON: {e}"))?;
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "\nchrome trace written to {path} ({} bytes); open via chrome://tracing or Perfetto",
+            doc.len()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_full_flag_set() {
+        let args: Vec<String> = [
+            "--bench",
+            "jacobi",
+            "--tiles",
+            "8",
+            "--chrome",
+            "/tmp/x.json",
+            "--selfcheck",
+            "--quick",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let t = TraceArgs::parse(&args).unwrap();
+        assert_eq!(t.bench, "jacobi");
+        assert_eq!(t.tiles, 8);
+        assert_eq!(t.chrome_out.as_deref(), Some("/tmp/x.json"));
+        assert!(t.selfcheck && t.quick);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        let bad = |list: &[&str]| {
+            let v: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+            TraceArgs::parse(&v).unwrap_err()
+        };
+        assert!(bad(&["--tiles", "3"]).contains("power of two"));
+        assert!(bad(&["--bench"]).contains("requires a value"));
+        assert!(bad(&["--frobnicate"]).contains("unknown trace flag"));
+    }
+
+    #[test]
+    fn trace_command_runs_quick_benchmark() {
+        let args = TraceArgs {
+            bench: "mxm".to_string(),
+            tiles: 4,
+            chrome_out: None,
+            selfcheck: true,
+            quick: true,
+        };
+        let text = trace_command(&args).unwrap();
+        assert!(text.contains("per-tile occupancy"), "{text}");
+        assert!(text.contains("mesh link utilization"), "{text}");
+        assert!(text.contains("observed critical path"), "{text}");
+        assert!(
+            text.contains("selfcheck: traced and untraced runs agree"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn trace_command_rejects_unknown_benchmark() {
+        let args = TraceArgs {
+            bench: "nope".to_string(),
+            tiles: 2,
+            chrome_out: None,
+            selfcheck: false,
+            quick: true,
+        };
+        assert!(trace_command(&args)
+            .unwrap_err()
+            .contains("unknown benchmark"));
+    }
+}

@@ -21,9 +21,11 @@ use crate::taskgraph::TaskGraph;
 use raw_ir::interp::ExecResult;
 use raw_ir::{Imm, Program, Terminator};
 use raw_machine::asm::{ProcAsm, SwitchAsm};
+use raw_machine::trace::EventSink;
 use raw_machine::{Machine, MachineConfig, MachineProgram, RunReport, SimError, TileCode, TileId};
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Compilation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,6 +62,53 @@ pub struct BlockReport {
     pub makespan: u64,
     /// Virtual registers spilled, summed over tiles.
     pub spills: usize,
+    /// The scheduler's predicted space-time map (for observed-trace diffing).
+    pub predicted: schedule::PredictedBlock,
+}
+
+/// Wall-clock time spent in each compiler phase, summed over all blocks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Lowering: task-graph construction from the IR block.
+    pub lower: Duration,
+    /// Partitioning: clustering + merging (placement reported separately).
+    pub partition: Duration,
+    /// Placement: mapping merged partitions onto physical tiles.
+    pub place: Duration,
+    /// Event scheduling (list scheduler + comm-path reservation).
+    pub schedule: Duration,
+    /// Code generation from the schedule.
+    pub codegen: Duration,
+    /// Register allocation over all tiles.
+    pub regalloc: Duration,
+    /// Linking per-tile streams and branch broadcasts.
+    pub link: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.lower
+            + self.partition
+            + self.place
+            + self.schedule
+            + self.codegen
+            + self.regalloc
+            + self.link
+    }
+
+    /// `(name, duration)` rows in pipeline order, for report rendering.
+    pub fn rows(&self) -> [(&'static str, Duration); 7] {
+        [
+            ("lower", self.lower),
+            ("partition", self.partition),
+            ("place", self.place),
+            ("schedule", self.schedule),
+            ("codegen", self.codegen),
+            ("regalloc", self.regalloc),
+            ("link", self.link),
+        ]
+    }
 }
 
 /// Whole-program compilation metrics.
@@ -67,6 +116,8 @@ pub struct BlockReport {
 pub struct CompileReport {
     /// Per-block metrics, indexed by block.
     pub blocks: Vec<BlockReport>,
+    /// Per-phase wall-clock compile timings.
+    pub timings: PhaseTimings,
 }
 
 impl CompileReport {
@@ -78,6 +129,12 @@ impl CompileReport {
     /// Largest task graph compiled.
     pub fn max_block_nodes(&self) -> usize {
         self.blocks.iter().map(|b| b.n_nodes).max().unwrap_or(0)
+    }
+
+    /// Sum of predicted block makespans — the scheduler's estimate of one
+    /// straight-line pass over the program (loops executed once).
+    pub fn predicted_makespan(&self) -> u64 {
+        self.blocks.iter().map(|b| b.makespan).sum()
     }
 }
 
@@ -97,7 +154,13 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Creates a machine and loads this program's initial memory image.
     pub fn instantiate(&self, program: &Program) -> Machine {
-        let mut machine = Machine::new(self.config.clone(), &self.machine_program);
+        self.instantiate_with_sink(program, raw_machine::trace::NullSink)
+    }
+
+    /// Like [`instantiate`](Self::instantiate), but attaches `sink` as the
+    /// machine's event consumer (see [`raw_machine::trace`]).
+    pub fn instantiate_with_sink<S: EventSink>(&self, program: &Program, sink: S) -> Machine<S> {
+        let mut machine = Machine::with_sink(self.config.clone(), &self.machine_program, sink);
         for (tile, words) in initial_memory_images(program, &self.layout)
             .into_iter()
             .enumerate()
@@ -112,7 +175,11 @@ impl CompiledProgram {
     /// Reads the machine-visible final state (variables from their home tiles,
     /// arrays gathered across the interleaved memories) in the same format as
     /// the reference interpreter, for bit-exact comparison.
-    pub fn extract_result(&self, program: &Program, machine: &Machine) -> ExecResult {
+    pub fn extract_result<S: EventSink>(
+        &self,
+        program: &Program,
+        machine: &Machine<S>,
+    ) -> ExecResult {
         let vars = program
             .vars
             .iter()
@@ -247,13 +314,20 @@ fn compile_inner(
     let mut report = CompileReport::default();
 
     for (_, block) in program.iter_blocks() {
+        let phase_start = Instant::now();
         let graph = TaskGraph::build(program, block, &layout, config);
+        report.timings.lower += phase_start.elapsed();
         debug_assert!(graph.order_edges_colocated());
 
         let _ = baseline;
         let (sched, part_clusters, assignment) = {
-            let part = partition::partition(&graph, config, options);
+            let phase_start = Instant::now();
+            let (part, place_time) = partition::partition_timed(&graph, config, options);
+            report.timings.partition += phase_start.elapsed().saturating_sub(place_time);
+            report.timings.place += place_time;
+            let phase_start = Instant::now();
             let sched = schedule::schedule(&graph, &part, config, options);
+            report.timings.schedule += phase_start.elapsed();
             let nc = part.n_clusters;
             let assignment = part.assignment;
             (sched, nc, assignment)
@@ -268,6 +342,7 @@ fn compile_inner(
             _ => None,
         };
 
+        let phase_start = Instant::now();
         let vcode: Vec<TileBlockCode> = codegen::generate(
             &graph,
             &sched,
@@ -275,8 +350,10 @@ fn compile_inner(
             branch_cond,
             options.fold_communication,
         );
+        report.timings.codegen += phase_start.elapsed();
         #[cfg(debug_assertions)]
         check_vcode_defs(&vcode);
+        let phase_start = Instant::now();
         let phys: Vec<regalloc::AllocResult> = vcode
             .into_iter()
             .map(|c| {
@@ -289,6 +366,7 @@ fn compile_inner(
                 )
             })
             .collect();
+        report.timings.regalloc += phase_start.elapsed();
 
         report.blocks.push(BlockReport {
             n_nodes: graph.len(),
@@ -296,6 +374,7 @@ fn compile_inner(
             n_comm_paths: sched.n_comm_paths,
             makespan: sched.makespan,
             spills: phys.iter().map(|p| p.n_spilled).sum(),
+            predicted: sched.predicted(),
         });
         artifacts.push(BlockArtifact {
             phys,
@@ -305,6 +384,7 @@ fn compile_inner(
     }
 
     // ---- Link per-tile streams.
+    let phase_start = Instant::now();
     let mut tiles = Vec::with_capacity(n);
     for t in 0..n {
         let mut pa = ProcAsm::new();
@@ -372,6 +452,7 @@ fn compile_inner(
             switch,
         });
     }
+    report.timings.link += phase_start.elapsed();
 
     Ok(CompiledProgram {
         machine_program: MachineProgram { tiles },

@@ -66,6 +66,8 @@ pub mod taskgraph;
 
 pub use driver::{
     compile, compile_baseline, BlockReport, CompileError, CompileReport, CompiledProgram,
+    PhaseTimings,
 };
 pub use layout::{ArrayClass, DataLayout};
 pub use options::{CompilerOptions, PlacementAlgorithm, PriorityScheme};
+pub use schedule::{PredOpKind, PredictedBlock};

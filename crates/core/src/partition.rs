@@ -38,12 +38,27 @@ pub fn partition(
     config: &MachineConfig,
     options: &CompilerOptions,
 ) -> Partition {
+    partition_timed(graph, config, options).0
+}
+
+/// Like [`partition`], but also reports how long the placement phase took
+/// (clustering + merging dominate the rest; placement is the phase the
+/// compile-timing report wants isolated because its cost is tunable via
+/// [`CompilerOptions::placement`]).
+pub fn partition_timed(
+    graph: &TaskGraph,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+) -> (Partition, std::time::Duration) {
     let n_tiles = config.n_tiles() as usize;
     if graph.is_empty() {
-        return Partition {
-            assignment: Vec::new(),
-            n_clusters: 0,
-        };
+        return (
+            Partition {
+                assignment: Vec::new(),
+                n_clusters: 0,
+            },
+            std::time::Duration::ZERO,
+        );
     }
     let clusters = if options.clustering {
         cluster(graph, options.cluster_comm_cost)
@@ -58,14 +73,19 @@ pub fn partition(
     };
     let n_clusters = clusters.count;
     let bins = merge(graph, &clusters, n_tiles);
+    let place_start = std::time::Instant::now();
     let tile_of_bin = place(graph, &clusters, &bins, config, options);
+    let place_time = place_start.elapsed();
     let assignment = (0..graph.len())
         .map(|n| tile_of_bin[bins.of_cluster[clusters.of_node[n]]])
         .collect();
-    Partition {
-        assignment,
-        n_clusters,
-    }
+    (
+        Partition {
+            assignment,
+            n_clusters,
+        },
+        place_time,
+    )
 }
 
 /// Clustering phase output.

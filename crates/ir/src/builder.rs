@@ -2,7 +2,7 @@
 //!
 //! The builder mints fresh [`ValueId`]s for every emitted instruction, so
 //! programs it produces are single-assignment by construction. [`finish`]
-//! additionally runs the [`verify`](crate::verify) pass, so a successfully built
+//! additionally runs the [`verify`] pass, so a successfully built
 //! program satisfies every structural invariant the compiler relies on.
 //!
 //! [`finish`]: ProgramBuilder::finish

@@ -1,7 +1,7 @@
 //! Three-operand intermediate representation for the RAWCC reproduction.
 //!
 //! This crate provides the program representation consumed by the space-time
-//! scheduling compiler in the [`rawcc`] crate (the reproduction of the ASPLOS 1998
+//! scheduling compiler in the `rawcc` crate (the reproduction of the ASPLOS 1998
 //! paper *Space-Time Scheduling of Instruction-Level Parallelism on a Raw Machine*).
 //! The representation mirrors the form RAWCC operated on after its *initial code
 //! transformation* phase (paper §3.3):

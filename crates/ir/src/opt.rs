@@ -27,7 +27,7 @@ pub fn optimize(program: &mut Program) {
 ///
 /// Integer semantics follow the reference interpreter (wrapping arithmetic,
 /// division by zero yields 0); float folding is bit-exact with the simulator
-/// because both use the same [`BinOp::eval`]/[`UnOp::eval`] reference
+/// because both use the same [`BinOp::eval`]/[`UnOp::eval`](crate::UnOp::eval) reference
 /// implementations.
 pub fn fold_constants(program: &mut Program) {
     use crate::inst::Imm;

@@ -80,7 +80,9 @@ pub mod machine;
 pub mod processor;
 pub mod stats;
 pub mod switch;
+pub mod trace;
 
 pub use config::{LatencyModel, MachineConfig};
 pub use isa::{MachineProgram, TileCode, TileId};
 pub use machine::{Machine, RunReport, SimError};
+pub use trace::{ChannelInfo, ChannelRole, EventSink, NullSink, StallReason, Unit};

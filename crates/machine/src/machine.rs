@@ -42,6 +42,7 @@ use crate::isa::{Dir, MachineProgram, SDst, SInst, SSrc, TileCode, TileId, Word}
 use crate::processor::{ProcOutcome, Processor, StallCause};
 use crate::stats::Stats;
 use crate::switch::{Switch, SwitchOutcome};
+use crate::trace::{ChannelInfo, ChannelRole, EventSink, NullSink, StallReason, Unit};
 use std::error::Error;
 use std::fmt;
 
@@ -145,8 +146,11 @@ enum Comp {
 }
 
 /// A simulated Raw machine loaded with a program.
+///
+/// The `S` parameter is the [`EventSink`] observing the run; the default
+/// [`NullSink`] compiles every emission out (see [`crate::trace`]).
 #[derive(Debug)]
-pub struct Machine {
+pub struct Machine<S: EventSink = NullSink> {
     config: MachineConfig,
     code: Vec<TileCode>,
     procs: Vec<Processor>,
@@ -183,16 +187,34 @@ pub struct Machine {
     route_vals: Vec<(SSrc, Word)>,
     /// True while any flit, dynamic message, or handler request may exist.
     dyn_active: bool,
+    /// Cause of the most recent switch stall (sleep-span attribution scratch).
+    last_switch_stall: StallCause,
+    /// The event sink observing this machine.
+    sink: S,
 }
 
 impl Machine {
-    /// Builds a machine from a configuration and loads `program`.
+    /// Builds a machine from a configuration and loads `program`, with tracing
+    /// disabled ([`NullSink`]).
     ///
     /// # Panics
     ///
     /// Panics if the program does not provide code for exactly
     /// `config.n_tiles()` tiles.
     pub fn new(config: MachineConfig, program: &MachineProgram) -> Self {
+        Machine::with_sink(config, program, NullSink)
+    }
+}
+
+impl<S: EventSink> Machine<S> {
+    /// Builds a machine from a configuration and loads `program`, attaching
+    /// `sink` as the event consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not provide code for exactly
+    /// `config.n_tiles()` tiles.
+    pub fn with_sink(config: MachineConfig, program: &MachineProgram, sink: S) -> Machine<S> {
         let n = config.n_tiles() as usize;
         assert_eq!(program.tiles.len(), n, "program must cover all {n} tiles");
         let mut channels = Vec::new();
@@ -266,8 +288,49 @@ impl Machine {
             consumed: Vec::new(),
             route_vals: Vec::new(),
             dyn_active: false,
+            last_switch_stall: StallCause::PortInEmpty,
+            sink,
             config,
         }
+    }
+
+    /// Shared access to the attached event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the machine and returns the sink (trace extraction).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Static description of every static-network channel, indexed by the
+    /// channel id used in [`EventSink::channel_commit`] events.
+    pub fn channel_infos(&self) -> Vec<ChannelInfo> {
+        let mut roles = vec![None; self.channels.len()];
+        for t in 0..self.config.n_tiles() as usize {
+            roles[self.ps[t]] = Some(ChannelRole::ProcToSwitch { tile: t as u32 });
+            roles[self.sp[t]] = Some(ChannelRole::SwitchToProc { tile: t as u32 });
+            for dir in Dir::ALL {
+                if let Some(id) = self.link_out[t][dir.index()] {
+                    let to = self.config.neighbor(TileId(t as u32), dir).unwrap();
+                    roles[id] = Some(ChannelRole::Link {
+                        from: t as u32,
+                        to: to.0,
+                        dir,
+                    });
+                }
+            }
+        }
+        roles
+            .into_iter()
+            .enumerate()
+            .map(|(id, role)| ChannelInfo {
+                id,
+                role: role.expect("every channel has a role"),
+                capacity: self.config.port_capacity,
+            })
+            .collect()
     }
 
     /// Enables random stall injection (for static-ordering tests).
@@ -358,9 +421,14 @@ impl Machine {
         for t in 0..n {
             if let Some(chaos) = &mut self.chaos {
                 if chaos.stall() {
+                    if S::ENABLED {
+                        self.sink
+                            .stall(self.cycle, t as u32, Unit::Proc, StallReason::Chaos);
+                    }
                     continue;
                 }
             }
+            let pc_before = if S::ENABLED { self.procs[t].pc() } else { 0 };
             let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
             let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
             let outcome = self.procs[t].step(
@@ -376,9 +444,21 @@ impl Machine {
                 ProcOutcome::Progress => {
                     self.stats.tiles[t].proc_insts += 1;
                     progress = true;
+                    if S::ENABLED {
+                        self.sink.issue(
+                            self.cycle,
+                            t as u32,
+                            pc_before,
+                            self.procs[t].last_issue_latency(),
+                        );
+                    }
                 }
                 ProcOutcome::Stalled(cause) => {
                     self.stats.tiles[t].record_stall(cause);
+                    if S::ENABLED {
+                        self.sink
+                            .stall(self.cycle, t as u32, Unit::Proc, cause.into());
+                    }
                     // A scoreboard stall — or a pending port write still
                     // waiting out its producer's latency — is a *timed* wait
                     // that resolves by itself: it is not a deadlock symptom,
@@ -389,7 +469,11 @@ impl Machine {
                         progress = true;
                     }
                 }
-                ProcOutcome::Halted => {}
+                ProcOutcome::Halted => {
+                    if S::ENABLED {
+                        self.sink.idle(self.cycle, t as u32, Unit::Proc);
+                    }
+                }
             }
         }
 
@@ -397,11 +481,21 @@ impl Machine {
         for t in 0..n {
             if let Some(chaos) = &mut self.chaos {
                 if chaos.stall() {
+                    if S::ENABLED {
+                        self.sink
+                            .stall(self.cycle, t as u32, Unit::Switch, StallReason::Chaos);
+                    }
                     continue;
                 }
             }
-            if self.step_switch(t) == SwitchOutcome::Progress {
-                progress = true;
+            match self.step_switch(t) {
+                SwitchOutcome::Progress => progress = true,
+                SwitchOutcome::Stalled => {}
+                SwitchOutcome::Halted => {
+                    if S::ENABLED {
+                        self.sink.idle(self.cycle, t as u32, Unit::Switch);
+                    }
+                }
             }
         }
 
@@ -409,6 +503,9 @@ impl Machine {
         if self.dynnet.step(&mut self.endpoints) {
             self.stats.dyn_active_cycles += 1;
             progress = true;
+            if S::ENABLED {
+                self.sink.dyn_active(self.cycle);
+            }
         }
         for t in 0..n {
             if self.handlers[t].step(
@@ -425,10 +522,14 @@ impl Machine {
         }
 
         // Commit staged channel writes.
-        for ch in &mut self.channels {
-            if ch.commit() {
+        for id in 0..self.channels.len() {
+            if self.channels[id].commit() {
                 self.stats.static_words += 1;
                 progress = true;
+                if S::ENABLED {
+                    self.sink
+                        .channel_commit(self.cycle, id, self.channels[id].len());
+                }
             }
         }
         self.dirty.clear();
@@ -477,12 +578,16 @@ impl Machine {
                     if chaos_stall {
                         if self.proc_debt[t].is_pending() {
                             self.proc_debt[t].chaos_skips += 1;
+                        } else if S::ENABLED {
+                            self.sink
+                                .stall(self.cycle, t as u32, Unit::Proc, StallReason::Chaos);
                         }
                         continue;
                     }
                 }
             }
             self.settle_proc_debt(t);
+            let pc_before = if S::ENABLED { self.procs[t].pc() } else { 0 };
             let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
             let pin_before = self.channels[pin_id].len();
             let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
@@ -509,12 +614,29 @@ impl Machine {
                 ProcOutcome::Progress => {
                     self.stats.tiles[t].proc_insts += 1;
                     progress = true;
+                    if S::ENABLED {
+                        self.sink.issue(
+                            self.cycle,
+                            t as u32,
+                            pc_before,
+                            self.procs[t].last_issue_latency(),
+                        );
+                    }
                     if self.procs[t].halted() {
                         self.proc_mode[t] = ProcMode::Dead;
+                        // The reference observes the halt one cycle later (the
+                        // next step returns `Halted`); mirror that timing.
+                        if S::ENABLED {
+                            self.sink.idle(self.cycle + 1, t as u32, Unit::Proc);
+                        }
                     }
                 }
                 ProcOutcome::Stalled(cause) => {
                     self.stats.tiles[t].record_stall(cause);
+                    if S::ENABLED {
+                        self.sink
+                            .stall(self.cycle, t as u32, Unit::Proc, cause.into());
+                    }
                     if cause == StallCause::RegNotReady
                         || self.procs[t].has_maturing_send(self.cycle)
                     {
@@ -552,6 +674,9 @@ impl Machine {
                 }
                 ProcOutcome::Halted => {
                     self.proc_mode[t] = ProcMode::Dead;
+                    if S::ENABLED {
+                        self.sink.idle(self.cycle, t as u32, Unit::Proc);
+                    }
                 }
             }
         }
@@ -574,6 +699,9 @@ impl Machine {
                     if chaos_stall {
                         if self.switch_debt[t].is_pending() {
                             self.switch_debt[t].chaos_skips += 1;
+                        } else if S::ENABLED {
+                            self.sink
+                                .stall(self.cycle, t as u32, Unit::Switch, StallReason::Chaos);
                         }
                         continue;
                     }
@@ -594,11 +722,14 @@ impl Machine {
                     self.switch_debt[t] = SleepDebt {
                         since: self.cycle + 1,
                         chaos_skips: 0,
-                        cause: StallCause::RegNotReady, // unused for switches
+                        cause: self.last_switch_stall,
                     };
                 }
                 SwitchOutcome::Halted => {
                     self.switch_mode[t] = SwitchMode::Dead;
+                    if S::ENABLED {
+                        self.sink.idle(self.cycle, t as u32, Unit::Switch);
+                    }
                 }
             }
         }
@@ -608,6 +739,9 @@ impl Machine {
             if self.dynnet.step(&mut self.endpoints) {
                 self.stats.dyn_active_cycles += 1;
                 progress = true;
+                if S::ENABLED {
+                    self.sink.dyn_active(self.cycle);
+                }
             }
             for t in 0..n {
                 if self.handlers[t].step(
@@ -635,6 +769,10 @@ impl Machine {
             debug_assert!(committed, "dirty channel had nothing staged");
             self.stats.static_words += 1;
             progress = true;
+            if S::ENABLED {
+                self.sink
+                    .channel_commit(self.cycle, id, self.channels[id].len());
+            }
             self.wake(self.chan_reader[id]);
             self.wake(self.chan_writer[id]);
         }
@@ -681,6 +819,16 @@ impl Machine {
             StallCause::PortInEmpty => self.stats.tiles[t].stall_port_in += stalls,
             _ => unreachable!("processors only sleep on reg/port-in stalls"),
         }
+        if S::ENABLED && skipped > 0 {
+            self.sink.stall_span(
+                t as u32,
+                Unit::Proc,
+                debt.cause.into(),
+                debt.since,
+                self.cycle,
+                debt.chaos_skips,
+            );
+        }
         self.proc_debt[t] = SleepDebt::NONE;
     }
 
@@ -694,6 +842,16 @@ impl Machine {
         let skipped = self.cycle - debt.since;
         debug_assert!(debt.chaos_skips <= skipped);
         self.stats.tiles[t].switch_stalls += skipped - debt.chaos_skips;
+        if S::ENABLED && skipped > 0 {
+            self.sink.stall_span(
+                t as u32,
+                Unit::Switch,
+                debt.cause.into(),
+                debt.since,
+                self.cycle,
+                debt.chaos_skips,
+            );
+        }
         self.switch_debt[t] = SleepDebt::NONE;
     }
 
@@ -722,6 +880,9 @@ impl Machine {
             dirty,
             consumed,
             route_vals,
+            cycle,
+            last_switch_stall,
+            sink,
             ..
         } = self;
         consumed.clear();
@@ -750,6 +911,10 @@ impl Machine {
                     };
                     if !ready {
                         stats.tiles[t].switch_stalls += 1;
+                        *last_switch_stall = StallCause::PortInEmpty;
+                        if S::ENABLED {
+                            sink.stall(*cycle, t as u32, Unit::Switch, StallReason::ReceiveEmpty);
+                        }
                         return SwitchOutcome::Stalled;
                     }
                 }
@@ -766,6 +931,10 @@ impl Machine {
                     };
                     if !ready {
                         stats.tiles[t].switch_stalls += 1;
+                        *last_switch_stall = StallCause::PortOutFull;
+                        if S::ENABLED {
+                            sink.stall(*cycle, t as u32, Unit::Switch, StallReason::SendFull);
+                        }
                         return SwitchOutcome::Stalled;
                     }
                 }
@@ -808,10 +977,16 @@ impl Machine {
                 }
                 sw.advance();
                 stats.tiles[t].switch_routes += 1;
+                if S::ENABLED {
+                    sink.route(*cycle, t as u32, pairs);
+                }
                 SwitchOutcome::Progress
             }
             other => {
                 sw.exec_control(other);
+                if S::ENABLED {
+                    sink.switch_control(*cycle, t as u32);
+                }
                 SwitchOutcome::Progress
             }
         }

@@ -57,6 +57,9 @@ pub struct Processor {
     /// When the last [`step`](Self::step) stalled on [`StallCause::RegNotReady`]
     /// at issue, the cycle at which the blocking register becomes ready.
     wake_hint: Option<u64>,
+    /// Result latency of the operation issued by the last [`step`](Self::step)
+    /// (1 when the instruction produced no delayed result).
+    last_latency: u32,
 }
 
 /// Maximum number of in-flight delayed port writes before issue stalls.
@@ -74,6 +77,7 @@ impl Processor {
             dyn_state: DynState::Idle,
             out_pending: VecDeque::new(),
             wake_hint: None,
+            last_latency: 1,
         }
     }
 
@@ -114,6 +118,13 @@ impl Processor {
         self.wake_hint
     }
 
+    /// Result latency of the most recently issued operation (1 when it had no
+    /// delayed result). Meaningful right after a [`step`](Self::step) that
+    /// returned [`ProcOutcome::Progress`]; feeds issue events for tracing.
+    pub fn last_issue_latency(&self) -> u32 {
+        self.last_latency
+    }
+
     fn src_ready(&self, src: Src, cycle: u64, port_in: &Channel) -> Result<(), StallCause> {
         match src {
             Src::Reg(r) => {
@@ -143,6 +154,7 @@ impl Processor {
     }
 
     fn write_dst(&mut self, dst: Dst, value: Word, cycle: u64, latency: u32) {
+        self.last_latency = latency;
         match dst {
             Dst::Reg(r) => {
                 self.regs[r as usize] = value;
@@ -175,6 +187,7 @@ impl Processor {
         dyn_ep: &mut DynEndpoint,
     ) -> ProcOutcome {
         self.wake_hint = None;
+        self.last_latency = 1;
         // Drain one matured pending send per cycle (the port engine).
         let mut drained = false;
         if let Some(&(when, word)) = self.out_pending.front() {

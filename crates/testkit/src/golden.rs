@@ -1,0 +1,89 @@
+//! Golden-snapshot helper: compare rendered text against a checked-in file,
+//! regenerating consciously with `UPDATE_GOLDEN=1`.
+//!
+//! Every golden test in the workspace funnels through [`check_golden`], so the
+//! update workflow and the mismatch diagnostics are identical everywhere: on
+//! mismatch the test panics with the first differing line and both texts; with
+//! the `UPDATE_GOLDEN` environment variable set, the snapshot is rewritten
+//! instead (review the diff like any other code change).
+
+use std::path::Path;
+
+/// Compares `actual` against the snapshot at `path`.
+///
+/// With `UPDATE_GOLDEN` set in the environment, writes `actual` to `path`
+/// (creating parent directories) instead of comparing.
+///
+/// # Panics
+///
+/// Panics when the snapshot is missing (and `UPDATE_GOLDEN` is unset) or when
+/// the contents differ, with a hint naming the regeneration command.
+pub fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(path, actual).unwrap();
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "golden mismatch for {} (first differing line: {}).\n\
+             If the change is intentional, regenerate with \
+             UPDATE_GOLDEN=1 cargo test and review the diff.\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}",
+            path.display(),
+            first_diff + 1
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("testkit_golden_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let path = scratch("match.txt");
+        std::fs::write(&path, "hello\n").unwrap();
+        check_golden(&path, "hello\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatch_panics_with_line_hint() {
+        let path = scratch("mismatch.txt");
+        std::fs::write(&path, "line one\nline two\n").unwrap();
+        let err = std::panic::catch_unwind(|| check_golden(&path, "line one\nline 2\n"))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("first differing line: 2"), "{msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_panics_with_hint() {
+        let path = scratch("does_not_exist.txt");
+        let err = std::panic::catch_unwind(|| check_golden(&path, "x")).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("UPDATE_GOLDEN=1"), "{msg}");
+    }
+}

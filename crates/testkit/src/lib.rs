@@ -10,17 +10,21 @@
 //! * [`prop`] — a miniature property-testing harness: composable strategies,
 //!   fixed-seed case generation, greedy shrinking, and seed replay via the
 //!   `TESTKIT_SEED` / `TESTKIT_CASES` environment variables.
-//! * [`bench`] — a micro-benchmark harness (warmup + timed samples,
+//! * [`bench`](mod@bench) — a micro-benchmark harness (warmup + timed samples,
 //!   median/p10/p90) that appends JSON lines to `BENCH_<suite>.json`.
+//! * [`golden`] — the golden-snapshot comparator shared by every pinned-text
+//!   test, with `UPDATE_GOLDEN=1` regeneration.
 //!
 //! Everything is deterministic by construction: the same seed always produces
 //! the same stream, the same cases, and the same generated workloads. Golden
 //! hashes ([`hash64`]) pin generator output across PRs.
 
 pub mod bench;
+pub mod golden;
 pub mod prop;
 pub mod rng;
 
+pub use golden::check_golden;
 pub use rng::Rng;
 
 /// FNV-1a 64-bit hash, used to pin golden output (generated benchmark

@@ -13,8 +13,8 @@
 //!    still fails, until a fixpoint (or a step cap) is reached.
 //!
 //! Strategies are composable: integer/float ranges, `any::<T>()`,
-//! [`vec`], tuples, [`Strategy::prop_map`], and [`prop_oneof!`]. The
-//! [`proptest!`] macro mirrors the subset of `proptest`'s surface this
+//! [`vec()`], tuples, [`Strategy::prop_map`], and [`prop_oneof!`](crate::prop_oneof). The
+//! [`proptest!`](crate::proptest) macro mirrors the subset of `proptest`'s surface this
 //! workspace uses.
 
 use crate::rng::{Rng, GOLDEN_GAMMA};
@@ -53,7 +53,7 @@ pub trait Strategy: Clone {
     }
 
     /// Type-erases the strategy so differently-typed strategies of one value
-    /// type can share a container (see [`prop_oneof!`]).
+    /// type can share a container (see [`prop_oneof!`](crate::prop_oneof)).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: 'static,
@@ -231,7 +231,7 @@ where
     }
 }
 
-/// Uniform choice between type-erased strategies (see [`prop_oneof!`]).
+/// Uniform choice between type-erased strategies (see [`prop_oneof!`](crate::prop_oneof)).
 #[derive(Clone)]
 pub struct OneOf<T> {
     options: Vec<BoxedStrategy<T>>,

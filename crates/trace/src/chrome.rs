@@ -1,0 +1,156 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! The export uses the Trace Event Format's JSON-object form: complete
+//! duration events (`"ph": "X"`) on one track per tile processor (`tid =
+//! 2·tile`) and one per switch (`tid = 2·tile + 1`), with thread-name
+//! metadata records. Timestamps are simulator cycles (the `ts` unit is
+//! nominally microseconds; one cycle maps to one microsecond).
+
+use std::fmt::Write as _;
+
+use raw_machine::trace::Unit;
+
+use crate::{Event, Trace};
+
+/// Per-cycle activity label of one unit, later run-length encoded.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    Empty,
+    Named(&'static str),
+}
+
+/// Serializes `trace` as Chrome-trace JSON (a single `traceEvents` object).
+pub fn chrome_trace(trace: &Trace) -> String {
+    let n = trace.n_tiles();
+    let horizon = trace.total_cycles as usize;
+    // timeline[unit-track][cycle]
+    let mut timeline = vec![vec![Cell::Empty; horizon]; n * 2];
+    let track = |tile: u32, unit: Unit| -> usize {
+        tile as usize * 2
+            + match unit {
+                Unit::Proc => 0,
+                Unit::Switch => 1,
+            }
+    };
+    let set = |tl: &mut Vec<Vec<Cell>>, tr: usize, cycle: u64, name: &'static str| {
+        if (cycle as usize) < horizon {
+            tl[tr][cycle as usize] = Cell::Named(name);
+        }
+    };
+    for ev in &trace.events {
+        match *ev {
+            Event::Issue { cycle, tile, .. } => {
+                set(&mut timeline, track(tile, Unit::Proc), cycle, "exec");
+            }
+            Event::Stall {
+                cycle,
+                tile,
+                unit,
+                reason,
+            } => {
+                set(&mut timeline, track(tile, unit), cycle, reason.name());
+            }
+            Event::StallSpan {
+                tile,
+                unit,
+                reason,
+                from,
+                to,
+                ..
+            } => {
+                for c in from..to {
+                    set(&mut timeline, track(tile, unit), c, reason.name());
+                }
+            }
+            Event::Route { cycle, tile, .. } => {
+                set(&mut timeline, track(tile, Unit::Switch), cycle, "route");
+            }
+            Event::SwitchControl { cycle, tile } => {
+                set(&mut timeline, track(tile, Unit::Switch), cycle, "ctrl");
+            }
+            Event::ChannelCommit { .. } | Event::Idle { .. } | Event::DynActive { .. } => {}
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, record: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&record);
+    };
+    push(
+        &mut out,
+        &mut first,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"raw {}x{} mesh\"}}}}",
+            trace.config.rows, trace.config.cols
+        ),
+    );
+    for t in 0..n {
+        for (unit, off) in [(Unit::Proc, 0usize), (Unit::Switch, 1usize)] {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"name\":\"tile {} {}\"}}}}",
+                    t * 2 + off,
+                    t,
+                    unit.name()
+                ),
+            );
+        }
+    }
+    for (tid, cells) in timeline.iter().enumerate() {
+        let mut c = 0usize;
+        while c < cells.len() {
+            let Cell::Named(name) = cells[c] else {
+                c += 1;
+                continue;
+            };
+            let mut end = c + 1;
+            while end < cells.len() && cells[end] == cells[c] {
+                end += 1;
+            }
+            let mut record = String::new();
+            let _ = write!(
+                record,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                name,
+                tid,
+                c,
+                end - c
+            );
+            push(&mut out, &mut first, record);
+            c = end;
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let trace = Trace {
+            config: raw_machine::MachineConfig::grid(1, 1),
+            total_cycles: 0,
+            channels: Vec::new(),
+            events: Vec::new(),
+            proc_idle: vec![0],
+            switch_idle: vec![0],
+        };
+        let doc = json::parse(&chrome_trace(&trace)).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // Process-name metadata plus two thread-name records.
+        assert_eq!(events.len(), 3);
+    }
+}

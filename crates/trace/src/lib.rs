@@ -1,0 +1,484 @@
+//! **raw-trace** — space-time observability for the Raw reproduction.
+//!
+//! The simulator's [`EventSink`] interface (see [`raw_machine::trace`]) streams
+//! per-cycle events; this crate records them ([`RecordingSink`]), freezes them
+//! into a queryable [`Trace`], and renders the reports that make a schedule's
+//! behaviour explainable:
+//!
+//! * a per-tile occupancy / stall breakdown table ([`report::occupancy_table`]),
+//! * an ASCII mesh-link utilization heatmap ([`report::link_heatmap`]),
+//! * a critical-path walk through the observed trace
+//!   ([`report::critical_path`]),
+//! * a predicted-vs-observed diff against the scheduler's space-time map
+//!   ([`report::predicted_vs_observed`]),
+//! * Chrome-trace JSON export for `chrome://tracing` / Perfetto
+//!   ([`chrome::chrome_trace`]), with an in-tree JSON parser ([`json`]) used by
+//!   the CI round-trip check.
+//!
+//! Recording is strictly observational: a traced run is bit-identical (cycle
+//! counts, statistics, final memory) to an untraced one, which the workspace's
+//! differential test suite asserts across every workload and a chaos sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use raw_machine::MachineConfig;
+//! use rawcc::{compile, CompilerOptions};
+//!
+//! let bench = raw_benchmarks_demo();
+//! # fn raw_benchmarks_demo() -> raw_ir::Program {
+//! #     let mut b = raw_ir::builder::ProgramBuilder::new("demo");
+//! #     let out = b.var_i32("out", 0);
+//! #     let x = b.const_i32(6);
+//! #     let y = b.const_i32(7);
+//! #     let p = b.mul(x, y);
+//! #     b.write_var(out, p);
+//! #     b.halt();
+//! #     b.finish().unwrap()
+//! # }
+//! let config = MachineConfig::square(4);
+//! let compiled = compile(&bench, &config, &CompilerOptions::default())?;
+//! let run = raw_trace::run_traced(&compiled, &bench)?;
+//! assert_eq!(run.trace.total_cycles, run.report.cycles);
+//! println!("{}", raw_trace::report::occupancy_table(&run.trace));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod chrome;
+pub mod json;
+pub mod report;
+
+use raw_ir::Program;
+use raw_machine::isa::{SDst, SSrc};
+use raw_machine::trace::{ChannelInfo, EventSink, StallReason, Unit};
+use raw_machine::{Machine, MachineConfig, RunReport, SimError};
+use rawcc::CompiledProgram;
+
+/// One recorded simulator event (see [`EventSink`] for the semantics).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A processor issued (or completed a pending port/dynamic event).
+    Issue {
+        /// Cycle of the issue.
+        cycle: u64,
+        /// Issuing tile.
+        tile: u32,
+        /// Program counter before the step.
+        pc: usize,
+        /// Result latency of the issued operation.
+        latency: u32,
+    },
+    /// A unit stalled (or was chaos-skipped) for exactly one cycle.
+    Stall {
+        /// Cycle of the stall.
+        cycle: u64,
+        /// Stalling tile.
+        tile: u32,
+        /// Processor or switch.
+        unit: Unit,
+        /// Why it stalled.
+        reason: StallReason,
+    },
+    /// A unit slept for `from..to`; `chaos` of those cycles were chaos skips.
+    StallSpan {
+        /// Sleeping tile.
+        tile: u32,
+        /// Processor or switch.
+        unit: Unit,
+        /// Why it slept.
+        reason: StallReason,
+        /// First skipped cycle.
+        from: u64,
+        /// One past the last skipped cycle.
+        to: u64,
+        /// Chaos-skip cycles folded into the span.
+        chaos: u64,
+    },
+    /// A switch fired a `ROUTE`.
+    Route {
+        /// Cycle of the route.
+        cycle: u64,
+        /// Routing tile.
+        tile: u32,
+        /// The route's source→destination pairs.
+        pairs: Vec<(SSrc, SDst)>,
+    },
+    /// A switch executed a control-flow instruction.
+    SwitchControl {
+        /// Cycle of the instruction.
+        cycle: u64,
+        /// Tile.
+        tile: u32,
+    },
+    /// A channel committed its staged word.
+    ChannelCommit {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// Channel id (see [`Trace::channels`]).
+        channel: usize,
+        /// Queue length after the commit.
+        occupancy: usize,
+    },
+    /// A unit reported idle (halted and drained) from `cycle` on.
+    Idle {
+        /// First idle cycle.
+        cycle: u64,
+        /// Tile.
+        tile: u32,
+        /// Processor or switch.
+        unit: Unit,
+    },
+    /// The dynamic network moved a flit.
+    DynActive {
+        /// Cycle of the activity.
+        cycle: u64,
+    },
+}
+
+/// An [`EventSink`] that records every event verbatim.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Recorded events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn issue(&mut self, cycle: u64, tile: u32, pc: usize, latency: u32) {
+        self.events.push(Event::Issue {
+            cycle,
+            tile,
+            pc,
+            latency,
+        });
+    }
+
+    fn stall(&mut self, cycle: u64, tile: u32, unit: Unit, reason: StallReason) {
+        self.events.push(Event::Stall {
+            cycle,
+            tile,
+            unit,
+            reason,
+        });
+    }
+
+    fn stall_span(
+        &mut self,
+        tile: u32,
+        unit: Unit,
+        reason: StallReason,
+        from: u64,
+        to: u64,
+        chaos_cycles: u64,
+    ) {
+        self.events.push(Event::StallSpan {
+            tile,
+            unit,
+            reason,
+            from,
+            to,
+            chaos: chaos_cycles,
+        });
+    }
+
+    fn route(&mut self, cycle: u64, tile: u32, pairs: &[(SSrc, SDst)]) {
+        self.events.push(Event::Route {
+            cycle,
+            tile,
+            pairs: pairs.to_vec(),
+        });
+    }
+
+    fn switch_control(&mut self, cycle: u64, tile: u32) {
+        self.events.push(Event::SwitchControl { cycle, tile });
+    }
+
+    fn channel_commit(&mut self, cycle: u64, channel: usize, occupancy: usize) {
+        self.events.push(Event::ChannelCommit {
+            cycle,
+            channel,
+            occupancy,
+        });
+    }
+
+    fn idle(&mut self, cycle: u64, tile: u32, unit: Unit) {
+        self.events.push(Event::Idle { cycle, tile, unit });
+    }
+
+    fn dyn_active(&mut self, cycle: u64) {
+        self.events.push(Event::DynActive { cycle });
+    }
+}
+
+/// A frozen, queryable record of one run.
+#[derive(Debug)]
+pub struct Trace {
+    /// Machine configuration of the run.
+    pub config: MachineConfig,
+    /// Reported cycle count (trailing no-progress cycles excluded).
+    pub total_cycles: u64,
+    /// Static-network channel topology, indexed by channel id.
+    pub channels: Vec<ChannelInfo>,
+    /// All recorded events, in emission order.
+    pub events: Vec<Event>,
+    /// Per tile: first cycle the processor was idle (`u64::MAX` = never).
+    pub proc_idle: Vec<u64>,
+    /// Per tile: first cycle the switch was idle (`u64::MAX` = never).
+    pub switch_idle: Vec<u64>,
+}
+
+/// Per-tile accounting derived from a [`Trace`].
+///
+/// The *window* of a unit is `min(first idle cycle, total_cycles)`: the span
+/// in which the unit was live. Within its window every cycle is exactly one of
+/// issue / stall / chaos-skip (processors) or route / control / stall /
+/// chaos-skip (switches), so
+/// `issues + Σ proc_stalls == proc_window` and
+/// `routes + controls + Σ switch_stalls == switch_window`
+/// — the invariant the workspace's property test asserts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TileAccount {
+    /// Instructions issued (incl. pending-send drains and dynamic completions).
+    pub issues: u64,
+    /// Routes fired by the switch.
+    pub routes: u64,
+    /// Control-flow instructions executed by the switch.
+    pub controls: u64,
+    /// Processor stall cycles by [`StallReason::index`].
+    pub proc_stalls: [u64; 5],
+    /// Switch stall cycles by [`StallReason::index`].
+    pub switch_stalls: [u64; 5],
+    /// Cycles the processor was live.
+    pub proc_window: u64,
+    /// Cycles the switch was live.
+    pub switch_window: u64,
+}
+
+impl TileAccount {
+    /// Total processor stall cycles (all reasons).
+    pub fn proc_stall_total(&self) -> u64 {
+        self.proc_stalls.iter().sum()
+    }
+
+    /// Total switch stall cycles (all reasons).
+    pub fn switch_stall_total(&self) -> u64 {
+        self.switch_stalls.iter().sum()
+    }
+}
+
+impl Trace {
+    /// Freezes a finished traced machine into a [`Trace`].
+    ///
+    /// Call after [`Machine::run`]; `report` is the run's report.
+    pub fn capture(machine: Machine<RecordingSink>, report: &RunReport) -> Trace {
+        let config = machine.config().clone();
+        let channels = machine.channel_infos();
+        let n = config.n_tiles() as usize;
+        let sink = machine.into_sink();
+        let mut proc_idle = vec![u64::MAX; n];
+        let mut switch_idle = vec![u64::MAX; n];
+        for ev in &sink.events {
+            if let Event::Idle { cycle, tile, unit } = *ev {
+                let slot = match unit {
+                    Unit::Proc => &mut proc_idle[tile as usize],
+                    Unit::Switch => &mut switch_idle[tile as usize],
+                };
+                *slot = (*slot).min(cycle);
+            }
+        }
+        Trace {
+            config,
+            total_cycles: report.cycles,
+            channels,
+            events: sink.events,
+            proc_idle,
+            switch_idle,
+        }
+    }
+
+    /// Number of tiles in the traced machine.
+    pub fn n_tiles(&self) -> usize {
+        self.config.n_tiles() as usize
+    }
+
+    /// The live window (`min(first idle, total_cycles)`) of a tile's unit.
+    pub fn window(&self, tile: usize, unit: Unit) -> u64 {
+        let idle = match unit {
+            Unit::Proc => self.proc_idle[tile],
+            Unit::Switch => self.switch_idle[tile],
+        };
+        idle.min(self.total_cycles)
+    }
+
+    /// Derives per-tile accounting (see [`TileAccount`] for the invariant).
+    pub fn accounts(&self) -> Vec<TileAccount> {
+        let n = self.n_tiles();
+        let mut acc = vec![TileAccount::default(); n];
+        for (t, a) in acc.iter_mut().enumerate() {
+            a.proc_window = self.window(t, Unit::Proc);
+            a.switch_window = self.window(t, Unit::Switch);
+        }
+        for ev in &self.events {
+            match *ev {
+                Event::Issue { cycle, tile, .. } => {
+                    let a = &mut acc[tile as usize];
+                    if cycle < a.proc_window {
+                        a.issues += 1;
+                    }
+                }
+                Event::Stall {
+                    cycle,
+                    tile,
+                    unit,
+                    reason,
+                } => {
+                    let a = &mut acc[tile as usize];
+                    match unit {
+                        Unit::Proc => {
+                            if cycle < a.proc_window {
+                                a.proc_stalls[reason.index()] += 1;
+                            }
+                        }
+                        Unit::Switch => {
+                            if cycle < a.switch_window {
+                                a.switch_stalls[reason.index()] += 1;
+                            }
+                        }
+                    }
+                }
+                Event::StallSpan {
+                    tile,
+                    unit,
+                    reason,
+                    from,
+                    to,
+                    chaos,
+                } => {
+                    let a = &mut acc[tile as usize];
+                    let len = to - from;
+                    let stalls = match unit {
+                        Unit::Proc => &mut a.proc_stalls,
+                        Unit::Switch => &mut a.switch_stalls,
+                    };
+                    stalls[reason.index()] += len - chaos;
+                    stalls[StallReason::Chaos.index()] += chaos;
+                }
+                Event::Route { cycle, tile, .. } => {
+                    let a = &mut acc[tile as usize];
+                    if cycle < a.switch_window {
+                        a.routes += 1;
+                    }
+                }
+                Event::SwitchControl { cycle, tile } => {
+                    let a = &mut acc[tile as usize];
+                    if cycle < a.switch_window {
+                        a.controls += 1;
+                    }
+                }
+                Event::ChannelCommit { .. } | Event::Idle { .. } | Event::DynActive { .. } => {}
+            }
+        }
+        acc
+    }
+
+    /// Commit count per channel (static-network word traffic).
+    pub fn channel_commits(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.channels.len()];
+        for ev in &self.events {
+            if let Event::ChannelCommit { channel, .. } = *ev {
+                counts[channel] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Cycles on which the dynamic network was active.
+    pub fn dyn_active_cycles(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::DynActive { .. }))
+            .count() as u64
+    }
+}
+
+/// A completed traced run: the frozen trace plus the run report.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// The frozen trace.
+    pub trace: Trace,
+    /// The simulator's run report.
+    pub report: RunReport,
+}
+
+/// Compiles nothing — runs an already-compiled program with a recording sink
+/// attached and freezes the result.
+///
+/// # Errors
+///
+/// Propagates simulation errors ([`SimError`]).
+pub fn run_traced(compiled: &CompiledProgram, program: &Program) -> Result<TraceRun, SimError> {
+    let mut machine = compiled.instantiate_with_sink(program, RecordingSink::new());
+    let report = machine.run()?;
+    let trace = Trace::capture(machine, &report);
+    Ok(TraceRun { trace, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_ir::builder::ProgramBuilder;
+    use rawcc::{compile, CompilerOptions};
+
+    fn demo_program() -> Program {
+        let mut b = ProgramBuilder::new("demo");
+        let out = b.var_i32("out", 0);
+        let x = b.const_i32(6);
+        let y = b.const_i32(7);
+        let p = b.mul(x, y);
+        b.write_var(out, p);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_accounts_balance() {
+        let program = demo_program();
+        let config = MachineConfig::square(4);
+        let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+        let (_, plain) = compiled.run(&program).unwrap();
+        let run = run_traced(&compiled, &program).unwrap();
+        assert_eq!(run.report.cycles, plain.cycles);
+        assert_eq!(run.report.stats, plain.stats);
+        assert_eq!(run.trace.total_cycles, plain.cycles);
+        for (t, a) in run.trace.accounts().iter().enumerate() {
+            assert_eq!(
+                a.issues + a.proc_stall_total(),
+                a.proc_window,
+                "tile {t} proc accounting"
+            );
+            assert_eq!(
+                a.routes + a.controls + a.switch_stall_total(),
+                a.switch_window,
+                "tile {t} switch accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_topology_covers_mesh() {
+        let program = demo_program();
+        let config = MachineConfig::grid(2, 2);
+        let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+        let run = run_traced(&compiled, &program).unwrap();
+        // 2 port channels per tile + 2 directed link channels per mesh edge.
+        let n_ports = 2 * 4;
+        let n_links = 2 * 4; // 4 undirected edges on a 2x2 mesh
+        assert_eq!(run.trace.channels.len(), n_ports + n_links);
+    }
+}

@@ -8,4 +8,5 @@ pub use raw_benchmarks as benchmarks;
 pub use raw_ir as ir;
 pub use raw_lang as lang;
 pub use raw_machine as machine;
+pub use raw_trace as trace;
 pub use rawcc as cc;

@@ -21,41 +21,11 @@ c = a*b + 0.5;
 d = sqrt(abs(c)) + a;
 ";
 
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
 fn check_golden(name: &str, actual: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, actual).unwrap();
-        eprintln!("updated golden {}", path.display());
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); generate it with \
-             UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
-            path.display()
-        )
-    });
-    if expected != actual {
-        let first_diff = expected
-            .lines()
-            .zip(actual.lines())
-            .position(|(e, a)| e != a)
-            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
-        panic!(
-            "golden mismatch for {name} (first differing line: {}).\n\
-             If the change is intentional, regenerate with \
-             UPDATE_GOLDEN=1 cargo test --test golden_snapshots and review the diff.\n\
-             --- expected ---\n{expected}\n--- actual ---\n{actual}",
-            first_diff + 1
-        );
-    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    raw_testkit::check_golden(&path, actual);
 }
 
 /// Renders per-tile processor and switch streams (showcode's format).
