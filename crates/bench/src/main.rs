@@ -7,6 +7,7 @@
 //! raw-bench --quick              # tiny suite (CI-friendly)
 //! raw-bench --bench mxm --table3 # restrict to one benchmark
 //! raw-bench trace --bench mxm --tiles 16 --chrome out.json
+//! raw-bench annotate --bench mxm --tiles 16
 //! ```
 
 use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
@@ -19,13 +20,20 @@ raw-bench — regenerate the tables and figures of
 USAGE:
     raw-bench [FLAGS]
     raw-bench trace [--bench NAME] [--tiles N] [--chrome PATH] [--selfcheck] [--quick]
+    raw-bench annotate [--bench NAME] [--tiles N] [--top K] [--chrome PATH] [--quick]
 
 SUBCOMMANDS:
     trace           run one benchmark with cycle-accurate tracing and print the
                     occupancy/stall table, link heatmap, critical-path walk,
                     and predicted-vs-observed diff; --chrome exports
-                    Chrome-trace JSON, --selfcheck re-runs untraced and
-                    verifies bit-identical cycle counts
+                    Chrome-trace JSON (with source-provenance args),
+                    --selfcheck re-runs untraced and verifies bit-identical
+                    cycle counts
+    annotate        run one benchmark traced and print the per-source-line
+                    hotspot listing (cycles, stall taxonomy, tile spread) and
+                    the placement audit log joining runtime stalls with the
+                    placer's accepted moves; fails if attribution does not
+                    conserve the active-window cycle accounting
 
 FLAGS:
     --table1        operation latencies (Table 1)
@@ -58,6 +66,25 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("raw-bench trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("annotate") {
+        let parsed = match raw_bench::observe::AnnotateArgs::parse(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("raw-bench annotate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match raw_bench::observe::annotate_command(&parsed) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("raw-bench annotate: {e}");
                 ExitCode::FAILURE
             }
         };

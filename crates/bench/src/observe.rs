@@ -1,11 +1,15 @@
-//! The `raw-bench trace` subcommand: compile a benchmark, run it with the
-//! recording event sink, and render the observability reports (occupancy
-//! table, link heatmap, critical path, predicted-vs-observed, phase timings),
-//! optionally exporting a Chrome-trace JSON file.
+//! The `raw-bench trace` and `raw-bench annotate` subcommands: compile a
+//! benchmark, run it with the recording event sink, and render the
+//! observability reports — occupancy table, link heatmap, critical path,
+//! predicted-vs-observed, phase timings (`trace`), or the per-source-line
+//! hotspot listing and placement audit log (`annotate`) — optionally
+//! exporting a provenance-annotated Chrome-trace JSON file.
 
+use raw_machine::trace::StallReason;
 use raw_machine::MachineConfig;
-use raw_trace::{chrome, json, report, run_traced};
-use rawcc::{compile, CompilerOptions};
+use raw_trace::annotate::{placement_audit, SourceAnnotation};
+use raw_trace::{chrome, json, report, run_traced, TraceRun};
+use rawcc::{compile, CompiledProgram, CompilerOptions};
 use std::fmt::Write as _;
 
 /// Parsed arguments of `raw-bench trace`.
@@ -76,6 +80,74 @@ impl TraceArgs {
     }
 }
 
+/// Compiles `name` from the chosen suite for a `tiles`-tile machine and runs
+/// it under the recording sink.
+fn compile_and_trace(
+    name: &str,
+    tiles: u32,
+    quick: bool,
+) -> Result<
+    (
+        raw_benchmarks::Benchmark,
+        raw_ir::Program,
+        CompiledProgram,
+        TraceRun,
+    ),
+    String,
+> {
+    let suite = if quick {
+        raw_benchmarks::tiny_suite()
+    } else {
+        raw_benchmarks::suite()
+    };
+    let bench = suite
+        .iter()
+        .find(|b| b.name == name)
+        .cloned()
+        .ok_or_else(|| {
+            let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+            format!(
+                "unknown benchmark '{name}' (available: {})",
+                names.join(", ")
+            )
+        })?;
+    let program = bench
+        .program(tiles)
+        .map_err(|e| format!("{}: source compile failed: {e}", bench.name))?;
+    let config = MachineConfig::square(tiles);
+    let compiled = compile(&program, &config, &CompilerOptions::default())
+        .map_err(|e| format!("{}: compile failed: {e}", bench.name))?;
+    let run = run_traced(&compiled, &program)
+        .map_err(|e| format!("{}: traced simulation failed: {e}", bench.name))?;
+    Ok((bench, program, compiled, run))
+}
+
+/// One-line summary of the dominant stall reason across all tiles and units.
+fn top_stall_summary(run: &TraceRun) -> String {
+    let accounts = run.trace.accounts();
+    let mut by_reason = [0u64; 5];
+    let mut windows = 0u64;
+    for a in &accounts {
+        for (i, slot) in by_reason.iter_mut().enumerate() {
+            *slot += a.proc_stalls[i] + a.switch_stalls[i];
+        }
+        windows += a.proc_window + a.switch_window;
+    }
+    let (top, &cycles) = by_reason
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .expect("five stall reasons");
+    if cycles == 0 {
+        return "top stall: none (no stall cycles recorded)".to_string();
+    }
+    let pct = 100.0 * cycles as f64 / windows.max(1) as f64;
+    format!(
+        "top stall: {} — {cycles} cycles ({pct:.1}% of active windows)",
+        StallReason::ALL[top].name()
+    )
+}
+
 /// Runs the trace subcommand, returning the rendered report text.
 ///
 /// # Errors
@@ -83,27 +155,8 @@ impl TraceArgs {
 /// Returns a message on unknown benchmark, compile/simulation failure,
 /// self-check divergence, or Chrome-export I/O failure.
 pub fn trace_command(args: &TraceArgs) -> Result<String, String> {
-    let suite = if args.quick {
-        raw_benchmarks::tiny_suite()
-    } else {
-        raw_benchmarks::suite()
-    };
-    let bench = suite.iter().find(|b| b.name == args.bench).ok_or_else(|| {
-        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
-        format!(
-            "unknown benchmark '{}' (available: {})",
-            args.bench,
-            names.join(", ")
-        )
-    })?;
-    let program = bench
-        .program(args.tiles)
-        .map_err(|e| format!("{}: source compile failed: {e}", bench.name))?;
+    let (bench, program, compiled, run) = compile_and_trace(&args.bench, args.tiles, args.quick)?;
     let config = MachineConfig::square(args.tiles);
-    let compiled = compile(&program, &config, &CompilerOptions::default())
-        .map_err(|e| format!("{}: compile failed: {e}", bench.name))?;
-    let run = run_traced(&compiled, &program)
-        .map_err(|e| format!("{}: traced simulation failed: {e}", bench.name))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -144,7 +197,7 @@ pub fn trace_command(args: &TraceArgs) -> Result<String, String> {
     }
 
     if let Some(path) = &args.chrome_out {
-        let doc = chrome::chrome_trace(&run.trace);
+        let doc = chrome::chrome_trace_annotated(&run.trace, Some(&compiled.provenance));
         json::parse(&doc).map_err(|e| format!("chrome export is not valid JSON: {e}"))?;
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(
@@ -153,6 +206,127 @@ pub fn trace_command(args: &TraceArgs) -> Result<String, String> {
             doc.len()
         );
     }
+    let _ = writeln!(out, "\n{}", top_stall_summary(&run));
+    Ok(out)
+}
+
+/// Parsed arguments of `raw-bench annotate`.
+#[derive(Clone, Debug)]
+pub struct AnnotateArgs {
+    /// Benchmark name (from the paper suite).
+    pub bench: String,
+    /// Machine size in tiles (power of two).
+    pub tiles: u32,
+    /// Rows per block in the placement audit.
+    pub top: usize,
+    /// Write a provenance-annotated Chrome-trace JSON file here.
+    pub chrome_out: Option<String>,
+    /// Use the scaled-down suite.
+    pub quick: bool,
+}
+
+impl AnnotateArgs {
+    /// Parses the argument list following the `annotate` subcommand word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Result<AnnotateArgs, String> {
+        let mut out = AnnotateArgs {
+            bench: "mxm".to_string(),
+            tiles: 16,
+            top: 5,
+            chrome_out: None,
+            quick: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{} requires a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--bench" => {
+                    out.bench = need(i)?.clone();
+                    i += 2;
+                }
+                "--tiles" => {
+                    out.tiles = need(i)?
+                        .parse()
+                        .map_err(|_| "--tiles must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--top" => {
+                    out.top = need(i)?
+                        .parse()
+                        .map_err(|_| "--top must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--chrome" => {
+                    out.chrome_out = Some(need(i)?.clone());
+                    i += 2;
+                }
+                "--quick" => {
+                    out.quick = true;
+                    // The quick preset targets a small machine unless --tiles
+                    // was given explicitly.
+                    if !args.iter().any(|a| a == "--tiles") {
+                        out.tiles = 4;
+                    }
+                    i += 1;
+                }
+                other => return Err(format!("unknown annotate flag '{other}'")),
+            }
+        }
+        if !out.tiles.is_power_of_two() {
+            return Err(format!("machine size {} is not a power of two", out.tiles));
+        }
+        Ok(out)
+    }
+}
+
+/// Runs the annotate subcommand: the per-source-line hotspot listing followed
+/// by the placement audit log.
+///
+/// # Errors
+///
+/// Returns a message on unknown benchmark, compile/simulation failure,
+/// attribution that fails to conserve the active-window cycle accounting, or
+/// Chrome-export I/O failure.
+pub fn annotate_command(args: &AnnotateArgs) -> Result<String, String> {
+    let (bench, _, compiled, run) = compile_and_trace(&args.bench, args.tiles, args.quick)?;
+    let ann = SourceAnnotation::build(&run.trace, &compiled.provenance);
+    let attributed = ann.selfcheck().map_err(|(a, w)| {
+        format!(
+            "{}: provenance attribution lost cycles: {a} attributed vs {w} in active windows",
+            bench.name
+        )
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "annotate: {} on {} tile(s), {} cycles, {attributed} attributed cycles\n",
+        bench.name, args.tiles, run.report.cycles
+    );
+    out.push_str(&ann.render(bench.source()));
+    out.push('\n');
+    out.push_str(&placement_audit(
+        &run.trace,
+        &compiled.provenance,
+        &compiled.report,
+        args.top,
+    ));
+    if let Some(path) = &args.chrome_out {
+        let doc = chrome::chrome_trace_annotated(&run.trace, Some(&compiled.provenance));
+        json::parse(&doc).map_err(|e| format!("chrome export is not valid JSON: {e}"))?;
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "\nchrome trace written to {path} ({} bytes, provenance args included)",
+            doc.len()
+        );
+    }
+    let _ = writeln!(out, "\n{}", top_stall_summary(&run));
     Ok(out)
 }
 

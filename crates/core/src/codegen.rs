@@ -22,6 +22,11 @@ use std::collections::HashMap;
 pub struct TileBlockCode {
     /// Straight-line instructions (register numbers are virtual).
     pub insts: Vec<PInst>,
+    /// Provenance parallel to `insts`: the task-graph node each instruction
+    /// implements ([`crate::provenance::NO_PROV`] when none). Address-arithmetic
+    /// temporaries inherit the node of the memory access that needed them;
+    /// sends/receives resolve to the producing node of the moved value.
+    pub prov: Vec<u32>,
     /// Virtual register holding the branch condition, when this tile is the
     /// condition producer (kept live through the terminator).
     pub cond_vreg: Option<u16>,
@@ -250,8 +255,21 @@ pub fn generate(
             shifted: HashMap::new(),
             globals: HashMap::new(),
         };
+        let mut prov: Vec<u32> = Vec::new();
+        let node_of = |v: &ValueId| -> u32 {
+            graph
+                .def_of
+                .get(v)
+                .map(|&n| n as u32)
+                .unwrap_or(crate::provenance::NO_PROV)
+        };
         for op in &ops {
             gen.emit(graph, op);
+            let node = match op {
+                GenOp::Comp { node, .. } => *node as u32,
+                GenOp::Send(v) | GenOp::Recv(v) => node_of(v),
+            };
+            prov.resize(gen.insts.len(), node);
         }
         let mut cond_vreg = None;
         if let Some(cond) = cond_here {
@@ -264,11 +282,13 @@ pub fn generate(
                     a: Src::Reg(v),
                     b: Src::Imm(Imm::I(0)),
                 });
+                prov.resize(gen.insts.len(), node_of(&cond));
             }
             cond_vreg = Some(v);
         }
         out.push(TileBlockCode {
             insts: gen.insts,
+            prov,
             cond_vreg,
             n_vregs: gen.next_vreg,
         });

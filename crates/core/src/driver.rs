@@ -15,6 +15,7 @@ use crate::codegen::{self, TileBlockCode};
 use crate::layout::{initial_memory_images, DataLayout};
 use crate::options::CompilerOptions;
 use crate::partition;
+use crate::provenance::{self, ProvRecord, ProvenanceMap, NO_PROV};
 use crate::regalloc;
 use crate::schedule::{self, broadcast_routes};
 use crate::taskgraph::TaskGraph;
@@ -64,6 +65,8 @@ pub struct BlockReport {
     pub spills: usize,
     /// The scheduler's predicted space-time map (for observed-trace diffing).
     pub predicted: schedule::PredictedBlock,
+    /// The placement phase's accepted-swap audit log.
+    pub placement: partition::PlacementLog,
 }
 
 /// Wall-clock time spent in each compiler phase, summed over all blocks.
@@ -149,6 +152,9 @@ pub struct CompiledProgram {
     pub config: MachineConfig,
     /// Compilation metrics.
     pub report: CompileReport,
+    /// Source-provenance tables joining machine pcs back to IR values and
+    /// source spans (see [`crate::provenance`]).
+    pub provenance: ProvenanceMap,
 }
 
 impl CompiledProgram {
@@ -307,20 +313,26 @@ fn compile_inner(
     struct BlockArtifact {
         phys: Vec<regalloc::AllocResult>,
         switch_ops: Vec<schedule::TileSwitchOps>,
+        /// Provenance record id per switch op, parallel to `switch_ops[t]`.
+        switch_recs: Vec<Vec<u32>>,
         cond_producer: Option<TileId>,
+        /// Record id of the branch-condition producer node ([`NO_PROV`] when
+        /// the block does not branch).
+        cond_rec: u32,
     }
 
     let mut artifacts: Vec<BlockArtifact> = Vec::with_capacity(program.blocks.len());
     let mut report = CompileReport::default();
+    let mut prov_map = ProvenanceMap::default();
 
-    for (_, block) in program.iter_blocks() {
+    for (b, (_, block)) in program.iter_blocks().enumerate() {
         let phase_start = Instant::now();
         let graph = TaskGraph::build(program, block, &layout, config);
         report.timings.lower += phase_start.elapsed();
         debug_assert!(graph.order_edges_colocated());
 
         let _ = baseline;
-        let (sched, part_clusters, assignment) = {
+        let (sched, part) = {
             let phase_start = Instant::now();
             let (part, place_time) = partition::partition_timed(&graph, config, options);
             report.timings.partition += phase_start.elapsed().saturating_sub(place_time);
@@ -328,10 +340,40 @@ fn compile_inner(
             let phase_start = Instant::now();
             let sched = schedule::schedule(&graph, &part, config, options);
             report.timings.schedule += phase_start.elapsed();
-            let nc = part.n_clusters;
-            let assignment = part.assignment;
-            (sched, nc, assignment)
+            (sched, part)
         };
+        let assignment = &part.assignment;
+
+        // Provenance records: one per task-graph node, in node order, so a
+        // node's record id is `block_base + node`.
+        let block_base = prov_map.records.len() as u32;
+        prov_map.block_base.push(block_base);
+        for (i, inst) in graph.insts.iter().enumerate() {
+            prov_map.records.push(ProvRecord {
+                span: inst.span,
+                value: inst.dst,
+                block: b as u32,
+                node: i as u32,
+                tile: assignment[i].index() as u32,
+                bin: part
+                    .bin_of_node
+                    .get(i)
+                    .map(|&x| x as u32)
+                    .unwrap_or(u32::MAX),
+                kind: provenance::mnemonic(&inst.kind),
+            });
+        }
+        // Switch ops and the branch condition resolve through `def_of`.
+        let node_rec = |n: usize| block_base + n as u32;
+        let switch_recs: Vec<Vec<u32>> = sched
+            .switch_ops
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|(_, v, _)| graph.def_of.get(v).map(|&n| node_rec(n)).unwrap_or(NO_PROV))
+                    .collect()
+            })
+            .collect();
 
         // Branch condition producer.
         let branch_cond = match &block.term {
@@ -359,6 +401,7 @@ fn compile_inner(
             .map(|c| {
                 regalloc::allocate(
                     c.insts,
+                    c.prov,
                     c.n_vregs,
                     c.cond_vreg,
                     config.gprs,
@@ -370,20 +413,27 @@ fn compile_inner(
 
         report.blocks.push(BlockReport {
             n_nodes: graph.len(),
-            n_clusters: part_clusters,
+            n_clusters: part.n_clusters,
             n_comm_paths: sched.n_comm_paths,
             makespan: sched.makespan,
             spills: phys.iter().map(|p| p.n_spilled).sum(),
             predicted: sched.predicted(),
+            placement: part.placement,
         });
         artifacts.push(BlockArtifact {
             phys,
             switch_ops: sched.switch_ops,
+            switch_recs,
             cond_producer: branch_cond.map(|(_, t)| t),
+            cond_rec: branch_cond
+                .and_then(|(c, _)| graph.def_of.get(&c).map(|&n| node_rec(n)))
+                .unwrap_or(NO_PROV),
         });
     }
 
-    // ---- Link per-tile streams.
+    // ---- Link per-tile streams, building the pc → provenance tables in
+    // lockstep (every assembler emission appends exactly one instruction, so
+    // pushing one table entry per emission keeps pc alignment; asserted below).
     let phase_start = Instant::now();
     let mut tiles = Vec::with_capacity(n);
     for t in 0..n {
@@ -392,35 +442,56 @@ fn compile_inner(
         let mut sa = SwitchAsm::new();
         let slabels: Vec<_> = program.blocks.iter().map(|_| sa.new_label()).collect();
         let switch_active = n > 1;
+        let mut proc_pc: Vec<u32> = Vec::new();
+        let mut switch_pc: Vec<u32> = Vec::new();
 
         for (b, block) in program.blocks.iter().enumerate() {
+            let base = prov_map.block_base[b];
             pa.bind(plabels[b]);
-            for inst in &artifacts[b].phys[t].insts {
+            for (inst, &node) in artifacts[b].phys[t]
+                .insts
+                .iter()
+                .zip(&artifacts[b].phys[t].prov)
+            {
                 pa.push(*inst);
+                proc_pc.push(if node == NO_PROV {
+                    NO_PROV
+                } else {
+                    base + node
+                });
             }
             if switch_active {
                 sa.bind(slabels[b]);
-                for (_, pairs) in &artifacts[b].switch_ops[t] {
+                for ((_, _, pairs), &rec) in artifacts[b].switch_ops[t]
+                    .iter()
+                    .zip(&artifacts[b].switch_recs[t])
+                {
                     sa.route(pairs);
+                    switch_pc.push(rec);
                 }
             }
             match &block.term {
                 Terminator::Jump(target) => {
                     pa.jump(plabels[target.index()]);
+                    proc_pc.push(NO_PROV);
                     if switch_active {
                         sa.jump(slabels[target.index()]);
+                        switch_pc.push(NO_PROV);
                     }
                 }
                 Terminator::Halt => {
                     pa.halt();
+                    proc_pc.push(NO_PROV);
                     if switch_active {
                         sa.halt();
+                        switch_pc.push(NO_PROV);
                     }
                 }
                 Terminator::Branch {
                     if_true, if_false, ..
                 } => {
                     let producer = artifacts[b].cond_producer.expect("branch has a producer");
+                    let cond_rec = artifacts[b].cond_rec;
                     if producer.index() == t {
                         let cond_reg = artifacts[b].phys[t]
                             .cond_reg
@@ -432,25 +503,37 @@ fn compile_inner(
                     } else {
                         pa.bnez(raw_machine::isa::Src::PortIn, plabels[if_true.index()]);
                     }
+                    // The branch waits on the condition: attribute it (and any
+                    // stall it suffers) to the condition's source line.
+                    proc_pc.push(cond_rec);
                     pa.jump(plabels[if_false.index()]);
+                    proc_pc.push(NO_PROV);
                     if switch_active {
                         let routes = broadcast_routes(config, producer);
                         sa.route(&routes[t]);
+                        switch_pc.push(cond_rec);
                         sa.bnez(0, slabels[if_true.index()]);
+                        switch_pc.push(cond_rec);
                         sa.jump(slabels[if_false.index()]);
+                        switch_pc.push(NO_PROV);
                     }
                 }
             }
         }
+        debug_assert_eq!(proc_pc.len(), pa.here(), "tile {t}: proc pc table skew");
+        debug_assert_eq!(switch_pc.len(), sa.here(), "tile {t}: switch pc table skew");
         let switch = if switch_active {
             sa.finish()
         } else {
+            switch_pc.push(NO_PROV);
             vec![raw_machine::isa::SInst::Halt]
         };
         tiles.push(TileCode {
             proc: pa.finish(),
             switch,
         });
+        prov_map.proc_pc.push(proc_pc);
+        prov_map.switch_pc.push(switch_pc);
     }
     report.timings.link += phase_start.elapsed();
 
@@ -459,6 +542,7 @@ fn compile_inner(
         layout,
         config: config.clone(),
         report,
+        provenance: prov_map,
     })
 }
 

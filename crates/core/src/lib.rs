@@ -60,6 +60,7 @@ pub mod driver;
 pub mod layout;
 pub mod options;
 pub mod partition;
+pub mod provenance;
 pub mod regalloc;
 pub mod schedule;
 pub mod taskgraph;
@@ -70,4 +71,6 @@ pub use driver::{
 };
 pub use layout::{ArrayClass, DataLayout};
 pub use options::{CompilerOptions, PlacementAlgorithm, PriorityScheme};
+pub use partition::{PlacementLog, PlacementStep};
+pub use provenance::{ProvRecord, ProvenanceMap, NO_PROV};
 pub use schedule::{PredOpKind, PredictedBlock};

@@ -25,6 +25,61 @@ pub struct Partition {
     pub assignment: Vec<TileId>,
     /// Number of clusters produced by the clustering phase (reporting).
     pub n_clusters: usize,
+    /// Placement bin per node (bin index = tile index before the placement
+    /// phase permuted bins onto physical tiles). Lets the audit report tie a
+    /// node's final tile back to the swap that put it there.
+    pub bin_of_node: Vec<usize>,
+    /// Audit log of the placement phase.
+    pub placement: PlacementLog,
+}
+
+/// One accepted swap in the placement optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementStep {
+    /// Move index within the optimization run at which the swap was accepted.
+    pub step: usize,
+    /// The two swapped bins (bin index = tile index before optimization).
+    pub bins: (usize, usize),
+    /// Exact communication-cost delta of the swap (negative = improvement).
+    pub delta: i64,
+}
+
+/// Audit log of the placement phase: which algorithm ran, the communication
+/// cost (total data-edge hops) before and after, and every accepted swap that
+/// made it into the final assignment, in application order.
+#[derive(Clone, Debug)]
+pub struct PlacementLog {
+    /// `"identity"`, `"greedy-swap"`, or `"annealing"`.
+    pub algorithm: &'static str,
+    /// Total hop cost of the identity assignment.
+    pub initial_cost: i64,
+    /// Total hop cost of the final assignment.
+    pub final_cost: i64,
+    /// Accepted swaps present in the final assignment (for annealing, the
+    /// best-prefix replay; worsening moves later abandoned are not listed).
+    pub steps: Vec<PlacementStep>,
+}
+
+impl Default for PlacementLog {
+    fn default() -> Self {
+        PlacementLog {
+            algorithm: "identity",
+            initial_cost: 0,
+            final_cost: 0,
+            steps: Vec::new(),
+        }
+    }
+}
+
+impl PlacementLog {
+    /// The last accepted swap that touched `bin`, if any — "this bin landed on
+    /// its tile at step N".
+    pub fn last_move_of_bin(&self, bin: usize) -> Option<&PlacementStep> {
+        self.steps
+            .iter()
+            .rev()
+            .find(|s| s.bins.0 == bin || s.bins.1 == bin)
+    }
 }
 
 /// Runs the full partitioning pipeline.
@@ -56,6 +111,8 @@ pub fn partition_timed(
             Partition {
                 assignment: Vec::new(),
                 n_clusters: 0,
+                bin_of_node: Vec::new(),
+                placement: PlacementLog::default(),
             },
             std::time::Duration::ZERO,
         );
@@ -74,15 +131,18 @@ pub fn partition_timed(
     let n_clusters = clusters.count;
     let bins = merge(graph, &clusters, n_tiles);
     let place_start = std::time::Instant::now();
-    let tile_of_bin = place(graph, &clusters, &bins, config, options);
+    let (tile_of_bin, placement) = place(graph, &clusters, &bins, config, options);
     let place_time = place_start.elapsed();
-    let assignment = (0..graph.len())
-        .map(|n| tile_of_bin[bins.of_cluster[clusters.of_node[n]]])
+    let bin_of_node: Vec<usize> = (0..graph.len())
+        .map(|n| bins.of_cluster[clusters.of_node[n]])
         .collect();
+    let assignment = bin_of_node.iter().map(|&b| tile_of_bin[b]).collect();
     (
         Partition {
             assignment,
             n_clusters,
+            bin_of_node,
+            placement,
         },
         place_time,
     )
@@ -257,7 +317,7 @@ fn place(
     bins: &Bins,
     config: &MachineConfig,
     options: &CompilerOptions,
-) -> Vec<TileId> {
+) -> (Vec<TileId>, PlacementLog) {
     use crate::options::PlacementAlgorithm;
     let n_tiles = config.n_tiles() as usize;
     let algorithm = if options.placement_swap {
@@ -267,7 +327,10 @@ fn place(
     };
     if algorithm == PlacementAlgorithm::None || n_tiles == 1 {
         // Identity assignment (locked bins are already at their tile).
-        return (0..n_tiles as u32).map(TileId::from_raw).collect();
+        return (
+            (0..n_tiles as u32).map(TileId::from_raw).collect(),
+            PlacementLog::default(),
+        );
     }
 
     // Data-edge multiset between bins.
@@ -352,24 +415,47 @@ fn optimize_placement(
     n_tiles: usize,
     config: &MachineConfig,
     algorithm: crate::options::PlacementAlgorithm,
-) -> Vec<TileId> {
+) -> (Vec<TileId>, PlacementLog) {
     use crate::options::PlacementAlgorithm;
     let mut tile_of_bin: Vec<TileId> = (0..n_tiles as u32).map(TileId::from_raw).collect();
+    let initial: i64 = edges
+        .iter()
+        .map(|&(a, b)| config.hops(tile_of_bin[a], tile_of_bin[b]) as i64)
+        .sum();
+    let mut log = PlacementLog {
+        algorithm: match algorithm {
+            PlacementAlgorithm::GreedySwap => "greedy-swap",
+            PlacementAlgorithm::Annealing { .. } => "annealing",
+            PlacementAlgorithm::None => "identity",
+        },
+        initial_cost: initial,
+        final_cost: initial,
+        steps: Vec::new(),
+    };
     if swappable.len() < 2 {
-        return tile_of_bin;
+        return (tile_of_bin, log);
     }
     let adj = build_adjacency(edges, n_tiles);
     match algorithm {
         PlacementAlgorithm::GreedySwap => {
+            let mut step = 0usize;
             for _pass in 0..8 {
                 let mut improved = false;
                 for i in 0..swappable.len() {
                     for j in i + 1..swappable.len() {
                         let (a, b) = (swappable[i], swappable[j]);
-                        if swap_delta(&adj, &tile_of_bin, config, a, b) < 0 {
+                        let d = swap_delta(&adj, &tile_of_bin, config, a, b);
+                        if d < 0 {
                             tile_of_bin.swap(a, b);
                             improved = true;
+                            log.steps.push(PlacementStep {
+                                step,
+                                bins: (a, b),
+                                delta: d,
+                            });
+                            log.final_cost += d;
                         }
+                        step += 1;
                     }
                 }
                 if !improved {
@@ -389,13 +475,9 @@ fn optimize_placement(
                 rng ^= rng >> 27;
                 rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
             };
-            let initial: i64 = edges
-                .iter()
-                .map(|&(a, b)| config.hops(tile_of_bin[a], tile_of_bin[b]) as i64)
-                .sum();
             let mut current = initial;
             let mut best_cost = current;
-            let mut accepted: Vec<(usize, usize)> = Vec::new();
+            let mut accepted: Vec<PlacementStep> = Vec::new();
             let mut best_len = 0usize;
             let mut temperature = (initial as f64 / edges.len().max(1) as f64).max(1.0) * 4.0;
             // O(deg) move evaluation funds a deeper search than the original
@@ -403,7 +485,7 @@ fn optimize_placement(
             // first 200 × steps replay the original trajectory exactly, so the
             // final cost can only be ≤ the original.
             let steps = 400 * swappable.len().max(4);
-            for _ in 0..steps {
+            for step in 0..steps {
                 let a = swappable[(next() % swappable.len() as u64) as usize];
                 let b = swappable[(next() % swappable.len() as u64) as usize];
                 if a == b {
@@ -420,7 +502,11 @@ fn optimize_placement(
                 if accept {
                     tile_of_bin.swap(a, b);
                     current += d;
-                    accepted.push((a, b));
+                    accepted.push(PlacementStep {
+                        step,
+                        bins: (a, b),
+                        delta: d,
+                    });
                     if current < best_cost {
                         best_cost = current;
                         best_len = accepted.len();
@@ -431,13 +517,16 @@ fn optimize_placement(
             // Replay the prefix of accepted swaps that reached the best cost
             // onto a fresh identity assignment.
             tile_of_bin = (0..n_tiles as u32).map(TileId::from_raw).collect();
-            for &(a, b) in &accepted[..best_len] {
-                tile_of_bin.swap(a, b);
+            accepted.truncate(best_len);
+            for s in &accepted {
+                tile_of_bin.swap(s.bins.0, s.bins.1);
             }
+            log.steps = accepted;
+            log.final_cost = best_cost;
         }
         PlacementAlgorithm::None => unreachable!("handled above"),
     }
-    tile_of_bin
+    (tile_of_bin, log)
 }
 
 #[cfg(test)]
@@ -718,7 +807,7 @@ mod tests {
                 (0..n_tiles).skip(1).collect(),
                 (0..n_tiles).step_by(2).collect(),
             ] {
-                let new = optimize_placement(
+                let (new, log) = optimize_placement(
                     &edges,
                     &swappable,
                     n_tiles,
@@ -727,6 +816,14 @@ mod tests {
                 );
                 let old = reference_greedy(&edges, &swappable, n_tiles, &config);
                 assert_eq!(new, old, "grid {rows}x{cols} seed {seed}");
+                // Replaying the logged swaps onto identity must reproduce the
+                // final assignment, and the logged cost must be exact.
+                let mut replay: Vec<TileId> = (0..n_tiles as u32).map(TileId::from_raw).collect();
+                for s in &log.steps {
+                    replay.swap(s.bins.0, s.bins.1);
+                }
+                assert_eq!(replay, new, "placement log replay");
+                assert_eq!(log.final_cost as u64, full_cost(&edges, &new, &config));
             }
         }
     }
@@ -747,7 +844,7 @@ mod tests {
             let edges = synthetic_edges(n_tiles, n_edges, seed);
             let swappable: Vec<usize> = (0..n_tiles).collect();
             for anneal_seed in [1u64, 7, 42] {
-                let new = optimize_placement(
+                let (new, log) = optimize_placement(
                     &edges,
                     &swappable,
                     n_tiles,
@@ -759,6 +856,12 @@ mod tests {
                     full_cost(&edges, &new, &config) <= full_cost(&edges, &old, &config),
                     "grid {rows}x{cols} edges-seed {seed} anneal-seed {anneal_seed}"
                 );
+                let mut replay: Vec<TileId> = (0..n_tiles as u32).map(TileId::from_raw).collect();
+                for s in &log.steps {
+                    replay.swap(s.bins.0, s.bins.1);
+                }
+                assert_eq!(replay, new, "annealing log replay");
+                assert_eq!(log.final_cost as u64, full_cost(&edges, &new, &config));
             }
         }
     }

@@ -27,6 +27,10 @@ const RESERVED: u16 = 2;
 pub struct AllocResult {
     /// Rewritten instructions over physical registers.
     pub insts: Vec<PInst>,
+    /// Provenance parallel to `insts`: the task-graph node each instruction
+    /// serves. Spill stores and reloads inherit the node of the instruction
+    /// they were inserted for.
+    pub prov: Vec<u32>,
     /// Physical register holding the branch condition (if requested live-out).
     pub cond_reg: Option<u16>,
     /// Number of distinct virtual registers spilled.
@@ -38,14 +42,20 @@ pub struct AllocResult {
 /// Allocates `n_vregs` virtual registers in `insts` to `gprs` physical
 /// registers, spilling to local memory starting at `spill_base`.
 ///
+/// `prov` is the per-instruction provenance (task-graph node ids) parallel to
+/// `insts`; the result carries a vector parallel to the rewritten stream, with
+/// inserted spill traffic attributed to the instruction that caused it.
+///
 /// `cond_vreg`, when present, is kept live through the end of the block (it
 /// feeds the terminator's branch).
 ///
 /// # Panics
 ///
-/// Panics if `gprs` leaves no allocatable registers (needs at least 3).
+/// Panics if `gprs` leaves no allocatable registers (needs at least 3), or if
+/// `prov` is not parallel to `insts`.
 pub fn allocate(
     insts: Vec<PInst>,
+    prov: Vec<u32>,
     n_vregs: u16,
     cond_vreg: Option<u16>,
     gprs: u32,
@@ -56,14 +66,17 @@ pub fn allocate(
         "need at least {} registers",
         RESERVED + 1
     );
+    assert_eq!(prov.len(), insts.len(), "provenance must parallel the code");
     let avail = (gprs - RESERVED as u32).min(u16::MAX as u32) as u16;
 
-    // Fast path: everything fits (also the `inf-reg` configuration).
+    // Fast path: everything fits (also the `inf-reg` configuration). The
+    // rewrite is 1:1, so provenance passes through untouched.
     if n_vregs <= avail {
         let mapped = rewrite(insts, &|v| Loc::Phys(v + RESERVED));
         return AllocResult {
             cond_reg: cond_vreg.map(|v| v + RESERVED),
             insts: mapped,
+            prov,
             n_spilled: 0,
             spill_slots: 0,
         };
@@ -154,7 +167,8 @@ pub fn allocate(
     // Rewrite with reloads and spill stores.
     let lookup = |v: u16| -> Loc { *loc.get(&v).unwrap_or(&Loc::Phys(RESERVED)) };
     let mut out = Vec::with_capacity(insts.len());
-    for inst in insts {
+    let mut out_prov: Vec<u32> = Vec::with_capacity(prov.len());
+    for (pos, inst) in insts.into_iter().enumerate() {
         let mut tmp_next = TMP0;
         let mut map_src = |s: Src, out: &mut Vec<PInst>| -> Src {
             match s {
@@ -223,6 +237,8 @@ pub fn allocate(
         if let Some(store) = rewritten {
             out.push(store);
         }
+        // Reloads before and the spill store after all serve this instruction.
+        out_prov.resize(out.len(), prov[pos]);
     }
 
     // Branch condition: reload if it was spilled.
@@ -237,9 +253,11 @@ pub fn allocate(
             TMP0
         }
     });
+    out_prov.resize(out.len(), crate::provenance::NO_PROV);
 
     AllocResult {
         insts: out,
+        prov: out_prov,
         cond_reg,
         n_spilled,
         spill_slots: slots,
@@ -343,9 +361,15 @@ mod tests {
         }
     }
 
+    /// Identity provenance for `n` instructions (tests only care about shape).
+    fn provs(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
     #[test]
     fn fast_path_shifts_by_reserved() {
-        let r = allocate(vec![li(0, 5), add(1, 0, 0)], 2, Some(1), 32, 100);
+        let r = allocate(vec![li(0, 5), add(1, 0, 0)], provs(2), 2, Some(1), 32, 100);
+        assert_eq!(r.prov, vec![0, 1], "fast path passes provenance through");
         assert_eq!(r.n_spilled, 0);
         assert_eq!(r.cond_reg, Some(3));
         assert!(matches!(
@@ -371,8 +395,14 @@ mod tests {
         insts.push(add(8, 4, 5));
         insts.push(add(9, 6, 7));
         insts.push(add(10, 8, 9));
-        let r = allocate(insts, 11, None, 5, 200);
+        let n = insts.len();
+        let r = allocate(insts, provs(n), 11, None, 5, 200);
         assert!(r.n_spilled > 0, "must spill with 3 allocatable registers");
+        assert_eq!(
+            r.prov.len(),
+            r.insts.len(),
+            "provenance must stay parallel under spilling"
+        );
         assert!(r.spill_slots as usize >= r.n_spilled.min(1));
         // All register numbers in the output are physical (< 5).
         for inst in &r.insts {
@@ -406,7 +436,8 @@ mod tests {
         for v in 1..8u16 {
             insts.push(add(v + 7, v, v));
         }
-        let r = allocate(insts, 15, Some(0), 4, 300);
+        let n = insts.len();
+        let r = allocate(insts, provs(n), 15, Some(0), 4, 300);
         let cond = r.cond_reg.unwrap();
         assert!(cond < 4);
         // If spilled, the last instruction is a reload into TMP0.
@@ -472,8 +503,9 @@ mod tests {
             mem[0]
         };
 
-        let expected = run(allocate(virt.clone(), 11, None, 32, 256).insts);
-        let spilled = allocate(virt, 11, None, 4, 256);
+        let n = virt.len();
+        let expected = run(allocate(virt.clone(), provs(n), 11, None, 32, 256).insts);
+        let spilled = allocate(virt, provs(n), 11, None, 4, 256);
         assert!(spilled.n_spilled > 0);
         assert_eq!(run(spilled.insts), expected);
         assert_eq!(expected, 40);

@@ -31,9 +31,11 @@ pub enum TileOp {
     Recv(raw_ir::ValueId),
 }
 
-/// One tile's switch schedule: `(cycle, route pairs)` in increasing cycle
-/// order.
-pub type TileSwitchOps = Vec<(u64, Vec<(SSrc, SDst)>)>;
+/// One tile's switch schedule: `(cycle, routed value, route pairs)` in
+/// increasing cycle order. The value identifies which communication path the
+/// route belongs to (provenance: it resolves to the producing node's source
+/// span).
+pub type TileSwitchOps = Vec<(u64, raw_ir::ValueId, Vec<(SSrc, SDst)>)>;
 
 /// Kind of a predicted processor slot (condensed from [`TileOp`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,7 +129,7 @@ impl BlockSchedule {
             route_cycles: self
                 .switch_ops
                 .iter()
-                .map(|ops| ops.iter().map(|(t, _)| *t).collect())
+                .map(|ops| ops.iter().map(|(t, ..)| *t).collect())
                 .collect(),
         }
     }
@@ -371,7 +373,7 @@ pub fn schedule(
                 for node in &tree.nodes {
                     let cycle = t + 1 + node.depth;
                     switch_busy[node.tile.index()].insert(cycle);
-                    out.switch_ops[node.tile.index()].push((cycle, node.pairs()));
+                    out.switch_ops[node.tile.index()].push((cycle, value, node.pairs()));
                     if node.deliver {
                         let arr = t + node.depth + 2;
                         proc_busy[node.tile.index()].insert(arr);
@@ -399,7 +401,7 @@ pub fn schedule(
         ops.sort_by_key(|(t, _)| *t);
     }
     for ops in &mut out.switch_ops {
-        ops.sort_by_key(|(t, _)| *t);
+        ops.sort_by_key(|(t, ..)| *t);
     }
     out
 }
@@ -679,7 +681,7 @@ mod tests {
         }
         for tile_ops in &s.switch_ops {
             let mut seen = HashSet::new();
-            for (t, _) in tile_ops {
+            for (t, ..) in tile_ops {
                 assert!(seen.insert(*t), "switch slot {t} double-booked");
             }
         }

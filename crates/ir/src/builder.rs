@@ -8,7 +8,7 @@
 //! [`finish`]: ProgramBuilder::finish
 
 use crate::ids::{ArrayId, BlockId, ValueId, VarId};
-use crate::inst::{BinOp, Imm, Inst, InstKind, MemHome, Ty, UnOp};
+use crate::inst::{BinOp, Imm, Inst, InstKind, MemHome, SourceSpan, Ty, UnOp};
 use crate::program::{ArrayDecl, Block, Program, Terminator, VarDecl};
 use crate::verify::{self, VerifyError};
 use std::collections::HashMap;
@@ -25,6 +25,7 @@ pub struct ProgramBuilder {
     current: BlockId,
     value_types: Vec<Ty>,
     value_names: HashMap<ValueId, String>,
+    span: SourceSpan,
 }
 
 #[derive(Debug)]
@@ -49,7 +50,21 @@ impl ProgramBuilder {
             current: BlockId::from_raw(0),
             value_types: Vec::new(),
             value_names: HashMap::new(),
+            span: SourceSpan::NONE,
         }
+    }
+
+    /// Sets the source span stamped on subsequently emitted instructions.
+    ///
+    /// Frontends call this as they walk the AST; instructions emitted before
+    /// the first call carry [`SourceSpan::NONE`].
+    pub fn set_span(&mut self, span: SourceSpan) {
+        self.span = span;
+    }
+
+    /// The span currently stamped on emitted instructions.
+    pub fn current_span(&self) -> SourceSpan {
+        self.span
     }
 
     /// The entry block id (always `bb0`).
@@ -141,7 +156,8 @@ impl ProgramBuilder {
         id
     }
 
-    fn push(&mut self, inst: Inst) {
+    fn push(&mut self, mut inst: Inst) {
+        inst.span = self.span;
         let cur = &mut self.blocks[self.current.index()];
         assert!(cur.term.is_none(), "emitting into terminated block");
         cur.insts.push(inst);
@@ -155,10 +171,7 @@ impl ProgramBuilder {
     /// Emits `li` of an immediate.
     pub fn const_imm(&mut self, imm: Imm) -> ValueId {
         let dst = self.fresh(imm.ty());
-        self.push(Inst {
-            dst: Some(dst),
-            kind: InstKind::Const(imm),
-        });
+        self.push(Inst::new(Some(dst), InstKind::Const(imm)));
         dst
     }
 
@@ -176,20 +189,14 @@ impl ProgramBuilder {
     pub fn un(&mut self, op: UnOp, src: ValueId) -> ValueId {
         let src_ty = self.value_types[src.index()];
         let dst = self.fresh(op.result_ty(src_ty));
-        self.push(Inst {
-            dst: Some(dst),
-            kind: InstKind::Un(op, src),
-        });
+        self.push(Inst::new(Some(dst), InstKind::Un(op, src)));
         dst
     }
 
     /// Emits a binary operation.
     pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
         let dst = self.fresh(op.result_ty());
-        self.push(Inst {
-            dst: Some(dst),
-            kind: InstKind::Bin(op, lhs, rhs),
-        });
+        self.push(Inst::new(Some(dst), InstKind::Bin(op, lhs, rhs)));
         dst
     }
 
@@ -197,43 +204,34 @@ impl ProgramBuilder {
     pub fn load(&mut self, array: ArrayId, index: ValueId, home: MemHome) -> ValueId {
         let ty = self.arrays[array.index()].ty;
         let dst = self.fresh(ty);
-        self.push(Inst {
-            dst: Some(dst),
-            kind: InstKind::Load { array, index, home },
-        });
+        self.push(Inst::new(Some(dst), InstKind::Load { array, index, home }));
         dst
     }
 
     /// Emits an array store.
     pub fn store(&mut self, array: ArrayId, index: ValueId, value: ValueId, home: MemHome) {
-        self.push(Inst {
-            dst: None,
-            kind: InstKind::Store {
+        self.push(Inst::new(
+            None,
+            InstKind::Store {
                 array,
                 index,
                 value,
                 home,
             },
-        });
+        ));
     }
 
     /// Emits a read of a persistent variable's block-entry value.
     pub fn read_var(&mut self, var: VarId) -> ValueId {
         let ty = self.vars[var.index()].ty;
         let dst = self.fresh(ty);
-        self.push(Inst {
-            dst: Some(dst),
-            kind: InstKind::ReadVar(var),
-        });
+        self.push(Inst::new(Some(dst), InstKind::ReadVar(var)));
         dst
     }
 
     /// Emits a persistent write of `value` to `var`.
     pub fn write_var(&mut self, var: VarId, value: ValueId) {
-        self.push(Inst {
-            dst: None,
-            kind: InstKind::WriteVar(var, value),
-        });
+        self.push(Inst::new(None, InstKind::WriteVar(var, value)));
     }
 
     fn terminate(&mut self, term: Terminator) {

@@ -17,6 +17,46 @@
 use crate::ids::{ArrayId, ValueId, VarId};
 use std::fmt;
 
+/// Source position an instruction was lowered from (1-based line and column).
+///
+/// `SourceSpan::NONE` (line 0) marks compiler-synthesized instructions with no
+/// source counterpart. Spans ride along through every transformation — the
+/// unroller, renaming, constant folding, CSE, decomposition — so the trace
+/// layer can attribute machine cycles back to Mini-C lines. They are metadata
+/// only: [`Inst`] equality ignores them (see `DESIGN.md` §10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SourceSpan {
+    /// 1-based source line, or 0 when synthesized.
+    pub line: u32,
+    /// 1-based source column, or 0 when synthesized.
+    pub col: u32,
+}
+
+impl SourceSpan {
+    /// The "no source position" span (line 0, col 0).
+    pub const NONE: SourceSpan = SourceSpan { line: 0, col: 0 };
+
+    /// Creates a span at a 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        SourceSpan { line, col }
+    }
+
+    /// True if this span points at real source text.
+    pub fn is_some(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            f.write_str("<none>")
+        }
+    }
+}
+
 /// The two value types of the Raw prototype.
 ///
 /// The prototype has no double-precision floats; the paper converts all FP to
@@ -415,15 +455,35 @@ pub enum InstKind {
 /// A three-operand instruction: optional destination value plus [`InstKind`].
 ///
 /// All kinds except `Store` and `WriteVar` define a destination.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality compares `dst` and `kind` only; the provenance [`span`](Self::span)
+/// is metadata and two instructions differing only in span are equal.
+#[derive(Clone, Debug)]
 pub struct Inst {
     /// Destination value, if the instruction produces one.
     pub dst: Option<ValueId>,
     /// Operation and sources.
     pub kind: InstKind,
+    /// Source position this instruction was lowered from (provenance).
+    pub span: SourceSpan,
+}
+
+impl PartialEq for Inst {
+    fn eq(&self, other: &Self) -> bool {
+        self.dst == other.dst && self.kind == other.kind
+    }
 }
 
 impl Inst {
+    /// Creates an instruction with no source span ([`SourceSpan::NONE`]).
+    pub fn new(dst: Option<ValueId>, kind: InstKind) -> Self {
+        Inst {
+            dst,
+            kind,
+            span: SourceSpan::NONE,
+        }
+    }
+
     /// Estimated execution latency in cycles, used as the task-graph node cost
     /// (paper §3.3 "nodes are labeled with the estimated costs").
     ///
@@ -525,29 +585,29 @@ mod tests {
 
     #[test]
     fn sources_enumerates_operands() {
-        let i = Inst {
-            dst: Some(ValueId::from_raw(2)),
-            kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(1)),
-        };
+        let i = Inst::new(
+            Some(ValueId::from_raw(2)),
+            InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(1)),
+        );
         let srcs: Vec<_> = i.sources().collect();
         assert_eq!(srcs, vec![ValueId::from_raw(0), ValueId::from_raw(1)]);
     }
 
     #[test]
     fn memory_classification() {
-        let load = Inst {
-            dst: Some(ValueId::from_raw(0)),
-            kind: InstKind::Load {
+        let load = Inst::new(
+            Some(ValueId::from_raw(0)),
+            InstKind::Load {
                 array: ArrayId::from_raw(0),
                 index: ValueId::from_raw(1),
                 home: MemHome::Dynamic,
             },
-        };
+        );
         assert!(load.is_memory());
-        let add = Inst {
-            dst: Some(ValueId::from_raw(0)),
-            kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(1), ValueId::from_raw(2)),
-        };
+        let add = Inst::new(
+            Some(ValueId::from_raw(0)),
+            InstKind::Bin(BinOp::Add, ValueId::from_raw(1), ValueId::from_raw(2)),
+        );
         assert!(!add.is_memory());
     }
 }

@@ -81,5 +81,5 @@ pub mod program;
 pub mod verify;
 
 pub use ids::{ArrayId, BlockId, ValueId, VarId};
-pub use inst::{BinOp, Imm, Inst, InstKind, MemHome, Ty, UnOp};
+pub use inst::{BinOp, Imm, Inst, InstKind, MemHome, SourceSpan, Ty, UnOp};
 pub use program::{ArrayDecl, Block, Program, Terminator, VarDecl};

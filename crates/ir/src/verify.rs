@@ -359,10 +359,10 @@ mod tests {
             arrays: vec![],
             blocks: vec![Block {
                 name: "entry".into(),
-                insts: vec![Inst {
-                    dst: Some(ValueId::from_raw(1)),
-                    kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
-                }],
+                insts: vec![Inst::new(
+                    Some(ValueId::from_raw(1)),
+                    InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
+                )],
                 term: Terminator::Halt,
             }],
             entry: BlockId::from_raw(0),
@@ -382,10 +382,10 @@ mod tests {
             blocks: vec![
                 Block {
                     name: "a".into(),
-                    insts: vec![Inst {
-                        dst: Some(ValueId::from_raw(0)),
-                        kind: InstKind::Const(Imm::I(1)),
-                    }],
+                    insts: vec![Inst::new(
+                        Some(ValueId::from_raw(0)),
+                        InstKind::Const(Imm::I(1)),
+                    )],
                     term: Terminator::Jump(BlockId::from_raw(1)),
                 },
                 Block {
@@ -413,14 +413,11 @@ mod tests {
             blocks: vec![Block {
                 name: "a".into(),
                 insts: vec![
-                    Inst {
-                        dst: Some(ValueId::from_raw(0)),
-                        kind: InstKind::Const(Imm::F(1.0)),
-                    },
-                    Inst {
-                        dst: Some(ValueId::from_raw(1)),
-                        kind: InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
-                    },
+                    Inst::new(Some(ValueId::from_raw(0)), InstKind::Const(Imm::F(1.0))),
+                    Inst::new(
+                        Some(ValueId::from_raw(1)),
+                        InstKind::Bin(BinOp::Add, ValueId::from_raw(0), ValueId::from_raw(0)),
+                    ),
                 ],
                 term: Terminator::Halt,
             }],

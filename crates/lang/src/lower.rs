@@ -23,7 +23,7 @@ use crate::ast::*;
 use crate::error::{LangError, Span};
 use crate::unroll::{affine_coeff, const_eval, subst_var_zero};
 use raw_ir::builder::ProgramBuilder;
-use raw_ir::{ArrayId, BinOp, Imm, MemHome, Program, Ty, UnOp, ValueId, VarId};
+use raw_ir::{ArrayId, BinOp, Imm, MemHome, Program, SourceSpan, Ty, UnOp, ValueId, VarId};
 use std::collections::HashMap;
 
 /// Lowers an (already unrolled) kernel to an IR program for `n_tiles` tiles.
@@ -109,19 +109,27 @@ struct Lower {
     arrays: HashMap<String, (ArrayId, Vec<u32>, Type)>,
     /// Current block-local value of each scalar.
     cache: HashMap<String, ValueId>,
-    /// Scalars assigned in the current block, in first-assignment order.
-    dirty: Vec<String>,
+    /// Scalars assigned in the current block, in first-assignment order, each
+    /// with the span of the assignment that dirtied it (stamped on the
+    /// `WriteVar` emitted at flush).
+    dirty: Vec<(String, Span)>,
     loops: Vec<LoopCtx>,
     n_tiles: u32,
 }
 
 impl Lower {
+    /// Points the builder's provenance stamp at a source position.
+    fn at(&mut self, span: Span) {
+        self.b.set_span(SourceSpan::new(span.line, span.col));
+    }
+
     /// Writes back dirty variables and forgets block-local values. Must be
     /// called before every block boundary.
     fn flush(&mut self) {
-        for name in std::mem::take(&mut self.dirty) {
+        for (name, span) in std::mem::take(&mut self.dirty) {
             let value = self.cache[&name];
             let (var, _) = self.vars[&name];
+            self.at(span);
             self.b.write_var(var, value);
         }
         self.cache.clear();
@@ -229,6 +237,7 @@ impl Lower {
                         let (iv, _) = self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
                         let (bv, bt) = self.expr(bound, Some(Type::Int))?;
                         expect(Type::Int, bt, bound.span(), "for bound")?;
+                        self.at(*span);
                         let c = self.b.bin(cond_op, iv, bv);
                         self.flush();
                         self.b.branch(c, body_b, exit);
@@ -246,6 +255,7 @@ impl Lower {
                         let (iv, _) = self.expr(&Expr::Var(var.clone(), *span), Some(Type::Int))?;
                         let (bv, bt) = self.expr(bound, Some(Type::Int))?;
                         expect(Type::Int, bt, bound.span(), "for bound")?;
+                        self.at(*span);
                         let c = self.b.bin(cond_op, iv, bv);
                         self.flush();
                         self.b.branch(c, body_b, exit);
@@ -276,10 +286,8 @@ impl Lower {
                 })?;
                 let (v, t) = self.expr(value, Some(vt))?;
                 expect(vt, t, value.span(), "assignment")?;
-                if (!self.cache.contains_key(name) || !self.dirty.contains(name))
-                    && !self.dirty.contains(name)
-                {
-                    self.dirty.push(name.clone());
+                if !self.dirty.iter().any(|(n, _)| n == name) {
+                    self.dirty.push((name.clone(), *span));
                 }
                 self.cache.insert(name.clone(), v);
                 Ok(())
@@ -296,6 +304,7 @@ impl Lower {
                 let (v, t) = self.expr(value, Some(ety))?;
                 expect(ety, t, value.span(), "array store")?;
                 let (idx, home) = self.index(&dims, indices, *span)?;
+                self.at(*span);
                 self.b.store(aid, idx, v, home);
                 Ok(())
             }
@@ -327,6 +336,7 @@ impl Lower {
         for (k, idx) in indices.iter().enumerate() {
             let (v, t) = self.expr(idx, Some(Type::Int))?;
             expect(Type::Int, t, idx.span(), "array index")?;
+            self.at(span);
             acc = Some(match acc {
                 None => v,
                 Some(prev) => {
@@ -433,6 +443,7 @@ impl Lower {
     fn expr(&mut self, e: &Expr, want: Option<Type>) -> Result<(ValueId, Type), LangError> {
         match e {
             Expr::Lit(Literal::Int(v), span) => {
+                self.at(*span);
                 if want == Some(Type::Float) {
                     Ok((self.b.const_f32(*v as f32), Type::Float))
                 } else {
@@ -442,7 +453,10 @@ impl Lower {
                     Ok((self.b.const_i32(x), Type::Int))
                 }
             }
-            Expr::Lit(Literal::Float(v), _) => Ok((self.b.const_f32(*v), Type::Float)),
+            Expr::Lit(Literal::Float(v), span) => {
+                self.at(*span);
+                Ok((self.b.const_f32(*v), Type::Float))
+            }
             Expr::Var(name, span) => {
                 let (var, t) = *self.vars.get(name).ok_or_else(|| {
                     LangError::new(*span, format!("undeclared variable '{name}'"))
@@ -450,6 +464,7 @@ impl Lower {
                 if let Some(&v) = self.cache.get(name) {
                     return Ok((v, t));
                 }
+                self.at(*span);
                 let v = self.b.read_var(var);
                 self.cache.insert(name.clone(), v);
                 Ok((v, t))
@@ -464,10 +479,12 @@ impl Lower {
                         LangError::new(*span, format!("undeclared array '{array}'"))
                     })?;
                 let (idx, home) = self.index(&dims, indices, *span)?;
+                self.at(*span);
                 Ok((self.b.load(aid, idx, home), ety))
             }
             Expr::Un { op, e: inner, span } => {
                 let (v, t) = self.expr(inner, want)?;
+                self.at(*span);
                 match op {
                     UnKind::Neg => {
                         let r = match t {
@@ -491,6 +508,7 @@ impl Lower {
                 };
                 let (v, t) = self.expr(arg, Some(want_arg))?;
                 expect(want_arg, t, *span, "intrinsic argument")?;
+                self.at(*span);
                 let op = match f {
                     Intrinsic::Sqrt => UnOp::SqrtF,
                     Intrinsic::Abs => UnOp::AbsF,
@@ -523,6 +541,7 @@ impl Lower {
             r,
             Some(lt).filter(|_| operand_want.is_none()).or(operand_want),
         )?;
+        self.at(span);
         let ty = if lt == rt {
             lt
         } else if lt == Type::Int && matches!(l, Expr::Lit(Literal::Int(_), _)) {

@@ -34,6 +34,52 @@ raw_testkit::proptest! {
         prop_assert_eq!(var_value(&p, &r, "s"), Imm::I(expected as i32));
     }
 
+    /// After full lowering (parse → unroll → rename → three-operand IR),
+    /// every instruction's source span lies within the source text, and the
+    /// program still passes the IR verifier.
+    #[test]
+    fn spans_stay_within_source_after_unrolling(
+        trip in 1i64..16,
+        k in 1i64..6,
+        tiles_log2 in 0u32..4,
+    ) {
+        let src = format!(
+            "int i; int j; int s; int A[{trip}];
+             s = 0;
+             for (i = 0; i < {trip}; i = i + 1) {{
+               A[i] = {k}*i;
+             }}
+             for (j = 0; j < {trip}; j = j + 1) {{
+               s = s + A[j];
+             }}"
+        );
+        let n_tiles = 1u32 << tiles_log2;
+        let p = raw_lang::compile_source("prop-span", &src, n_tiles).unwrap();
+        raw_ir::verify::verify(&p).expect("lowered program verifies");
+        let lines: Vec<&str> = src.lines().collect();
+        let mut stamped = 0usize;
+        for (_, block) in p.iter_blocks() {
+            for inst in &block.insts {
+                let span = inst.span;
+                if !span.is_some() {
+                    continue;
+                }
+                stamped += 1;
+                prop_assert!(
+                    (span.line as usize) <= lines.len(),
+                    "span line {} beyond source ({} lines)", span.line, lines.len()
+                );
+                let text = lines[span.line as usize - 1];
+                prop_assert!(span.col >= 1, "column is 1-based");
+                prop_assert!(
+                    (span.col as usize) <= text.chars().count() + 1,
+                    "span col {} beyond line {} ({:?})", span.col, span.line, text
+                );
+            }
+        }
+        prop_assert!(stamped > 0, "source-lowered program must carry spans");
+    }
+
     /// Unrolling for larger machines must not change loop semantics.
     #[test]
     fn unrolling_preserves_semantics(

@@ -422,8 +422,9 @@ impl<S: EventSink> Machine<S> {
             if let Some(chaos) = &mut self.chaos {
                 if chaos.stall() {
                     if S::ENABLED {
+                        let pc = self.procs[t].pc();
                         self.sink
-                            .stall(self.cycle, t as u32, Unit::Proc, StallReason::Chaos);
+                            .stall(self.cycle, t as u32, Unit::Proc, StallReason::Chaos, pc);
                     }
                     continue;
                 }
@@ -457,7 +458,7 @@ impl<S: EventSink> Machine<S> {
                     self.stats.tiles[t].record_stall(cause);
                     if S::ENABLED {
                         self.sink
-                            .stall(self.cycle, t as u32, Unit::Proc, cause.into());
+                            .stall(self.cycle, t as u32, Unit::Proc, cause.into(), pc_before);
                     }
                     // A scoreboard stall — or a pending port write still
                     // waiting out its producer's latency — is a *timed* wait
@@ -482,8 +483,9 @@ impl<S: EventSink> Machine<S> {
             if let Some(chaos) = &mut self.chaos {
                 if chaos.stall() {
                     if S::ENABLED {
+                        let pc = self.switches[t].pc();
                         self.sink
-                            .stall(self.cycle, t as u32, Unit::Switch, StallReason::Chaos);
+                            .stall(self.cycle, t as u32, Unit::Switch, StallReason::Chaos, pc);
                     }
                     continue;
                 }
@@ -579,8 +581,14 @@ impl<S: EventSink> Machine<S> {
                         if self.proc_debt[t].is_pending() {
                             self.proc_debt[t].chaos_skips += 1;
                         } else if S::ENABLED {
-                            self.sink
-                                .stall(self.cycle, t as u32, Unit::Proc, StallReason::Chaos);
+                            let pc = self.procs[t].pc();
+                            self.sink.stall(
+                                self.cycle,
+                                t as u32,
+                                Unit::Proc,
+                                StallReason::Chaos,
+                                pc,
+                            );
                         }
                         continue;
                     }
@@ -635,7 +643,7 @@ impl<S: EventSink> Machine<S> {
                     self.stats.tiles[t].record_stall(cause);
                     if S::ENABLED {
                         self.sink
-                            .stall(self.cycle, t as u32, Unit::Proc, cause.into());
+                            .stall(self.cycle, t as u32, Unit::Proc, cause.into(), pc_before);
                     }
                     if cause == StallCause::RegNotReady
                         || self.procs[t].has_maturing_send(self.cycle)
@@ -700,8 +708,14 @@ impl<S: EventSink> Machine<S> {
                         if self.switch_debt[t].is_pending() {
                             self.switch_debt[t].chaos_skips += 1;
                         } else if S::ENABLED {
-                            self.sink
-                                .stall(self.cycle, t as u32, Unit::Switch, StallReason::Chaos);
+                            let pc = self.switches[t].pc();
+                            self.sink.stall(
+                                self.cycle,
+                                t as u32,
+                                Unit::Switch,
+                                StallReason::Chaos,
+                                pc,
+                            );
                         }
                         continue;
                     }
@@ -820,6 +834,9 @@ impl<S: EventSink> Machine<S> {
             _ => unreachable!("processors only sleep on reg/port-in stalls"),
         }
         if S::ENABLED && skipped > 0 {
+            // The pc does not advance while asleep: this is the blocked
+            // instruction's pc for the whole span.
+            let pc = self.procs[t].pc();
             self.sink.stall_span(
                 t as u32,
                 Unit::Proc,
@@ -827,6 +844,7 @@ impl<S: EventSink> Machine<S> {
                 debt.since,
                 self.cycle,
                 debt.chaos_skips,
+                pc,
             );
         }
         self.proc_debt[t] = SleepDebt::NONE;
@@ -843,6 +861,7 @@ impl<S: EventSink> Machine<S> {
         debug_assert!(debt.chaos_skips <= skipped);
         self.stats.tiles[t].switch_stalls += skipped - debt.chaos_skips;
         if S::ENABLED && skipped > 0 {
+            let pc = self.switches[t].pc();
             self.sink.stall_span(
                 t as u32,
                 Unit::Switch,
@@ -850,6 +869,7 @@ impl<S: EventSink> Machine<S> {
                 debt.since,
                 self.cycle,
                 debt.chaos_skips,
+                pc,
             );
         }
         self.switch_debt[t] = SleepDebt::NONE;
@@ -890,6 +910,8 @@ impl<S: EventSink> Machine<S> {
         let Some(inst) = sw.fetch(&code[t].switch) else {
             return SwitchOutcome::Halted;
         };
+        // Fetch does not advance: this is the fetched instruction's pc.
+        let sw_pc = sw.pc();
         match inst {
             SInst::Route(pairs) => {
                 let link_in = |d: Dir| -> Option<usize> {
@@ -913,7 +935,13 @@ impl<S: EventSink> Machine<S> {
                         stats.tiles[t].switch_stalls += 1;
                         *last_switch_stall = StallCause::PortInEmpty;
                         if S::ENABLED {
-                            sink.stall(*cycle, t as u32, Unit::Switch, StallReason::ReceiveEmpty);
+                            sink.stall(
+                                *cycle,
+                                t as u32,
+                                Unit::Switch,
+                                StallReason::ReceiveEmpty,
+                                sw_pc,
+                            );
                         }
                         return SwitchOutcome::Stalled;
                     }
@@ -933,7 +961,13 @@ impl<S: EventSink> Machine<S> {
                         stats.tiles[t].switch_stalls += 1;
                         *last_switch_stall = StallCause::PortOutFull;
                         if S::ENABLED {
-                            sink.stall(*cycle, t as u32, Unit::Switch, StallReason::SendFull);
+                            sink.stall(
+                                *cycle,
+                                t as u32,
+                                Unit::Switch,
+                                StallReason::SendFull,
+                                sw_pc,
+                            );
                         }
                         return SwitchOutcome::Stalled;
                     }
@@ -978,14 +1012,14 @@ impl<S: EventSink> Machine<S> {
                 sw.advance();
                 stats.tiles[t].switch_routes += 1;
                 if S::ENABLED {
-                    sink.route(*cycle, t as u32, pairs);
+                    sink.route(*cycle, t as u32, pairs, sw_pc);
                 }
                 SwitchOutcome::Progress
             }
             other => {
                 sw.exec_control(other);
                 if S::ENABLED {
-                    sink.switch_control(*cycle, t as u32);
+                    sink.switch_control(*cycle, t as u32, sw_pc);
                 }
                 SwitchOutcome::Progress
             }

@@ -166,14 +166,18 @@ pub trait EventSink {
         let _ = (cycle, tile, pc, latency);
     }
 
-    /// A unit stalled (or was chaos-skipped) for exactly this cycle.
-    fn stall(&mut self, cycle: u64, tile: u32, unit: Unit, reason: StallReason) {
-        let _ = (cycle, tile, unit, reason);
+    /// A unit stalled (or was chaos-skipped) for exactly this cycle. `pc` is
+    /// the stalled instruction's program counter in the unit's stream (the pc
+    /// does not advance while stalled).
+    fn stall(&mut self, cycle: u64, tile: u32, unit: Unit, reason: StallReason, pc: usize) {
+        let _ = (cycle, tile, unit, reason, pc);
     }
 
     /// A unit was asleep for cycles `from..to` (retroactive, emitted at wake).
     /// `chaos_cycles` of the span were chaos skips rather than true stalls;
-    /// their position within the span is not observable.
+    /// their position within the span is not observable. `pc` is the blocked
+    /// instruction's program counter (constant across the span).
+    #[allow(clippy::too_many_arguments)]
     fn stall_span(
         &mut self,
         tile: u32,
@@ -182,19 +186,22 @@ pub trait EventSink {
         from: u64,
         to: u64,
         chaos_cycles: u64,
+        pc: usize,
     ) {
-        let _ = (tile, unit, reason, from, to, chaos_cycles);
+        let _ = (tile, unit, reason, from, to, chaos_cycles, pc);
     }
 
-    /// A switch executed a `ROUTE` with these source→destination pairs.
-    fn route(&mut self, cycle: u64, tile: u32, pairs: &[(SSrc, SDst)]) {
-        let _ = (cycle, tile, pairs);
+    /// A switch executed a `ROUTE` with these source→destination pairs. `pc`
+    /// is the route instruction's index in the switch stream.
+    fn route(&mut self, cycle: u64, tile: u32, pairs: &[(SSrc, SDst)], pc: usize) {
+        let _ = (cycle, tile, pairs, pc);
     }
 
     /// A switch executed a control-flow instruction (branch, jump, nop) —
-    /// progress without a route firing.
-    fn switch_control(&mut self, cycle: u64, tile: u32) {
-        let _ = (cycle, tile);
+    /// progress without a route firing. `pc` is the instruction's index before
+    /// the step.
+    fn switch_control(&mut self, cycle: u64, tile: u32, pc: usize) {
+        let _ = (cycle, tile, pc);
     }
 
     /// A channel committed its staged word at the end of `cycle`; `occupancy`
@@ -258,7 +265,7 @@ mod tests {
         // The default methods are callable no-ops.
         let mut s = NullSink;
         s.issue(0, 0, 0, 1);
-        s.stall(0, 0, Unit::Proc, StallReason::Scoreboard);
+        s.stall(0, 0, Unit::Proc, StallReason::Scoreboard, 0);
         s.idle(0, 0, Unit::Switch);
     }
 }

@@ -5,22 +5,39 @@
 //! 2·tile`) and one per switch (`tid = 2·tile + 1`), with thread-name
 //! metadata records. Timestamps are simulator cycles (the `ts` unit is
 //! nominally microseconds; one cycle maps to one microsecond).
+//!
+//! When a [`ProvenanceMap`] is supplied, every duration event whose cycles
+//! are attributable to a source-level operation carries an `"args"` object
+//! with the originating source `line`/`col`, the IR `value` name, and the
+//! operation mnemonic — clicking a slice in Perfetto shows which Mini-C line
+//! produced it. Runs are split at provenance boundaries so two adjacent
+//! `exec` cycles from different source lines render as separate slices.
 
 use std::fmt::Write as _;
 
 use raw_machine::trace::Unit;
+use rawcc::{ProvenanceMap, NO_PROV};
 
 use crate::{Event, Trace};
 
-/// Per-cycle activity label of one unit, later run-length encoded.
+/// Per-cycle activity label of one unit, later run-length encoded. The
+/// provenance record id participates in equality so the encoder splits runs
+/// at source-attribution boundaries.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Cell {
     Empty,
-    Named(&'static str),
+    Named(&'static str, u32),
 }
 
-/// Serializes `trace` as Chrome-trace JSON (a single `traceEvents` object).
+/// Serializes `trace` as Chrome-trace JSON (a single `traceEvents` object)
+/// without provenance annotations.
 pub fn chrome_trace(trace: &Trace) -> String {
+    chrome_trace_annotated(trace, None)
+}
+
+/// Serializes `trace` as Chrome-trace JSON, attaching source-provenance
+/// `args` to every slice that joins to a record in `prov`.
+pub fn chrome_trace_annotated(trace: &Trace, prov: Option<&ProvenanceMap>) -> String {
     let n = trace.n_tiles();
     let horizon = trace.total_cycles as usize;
     // timeline[unit-track][cycle]
@@ -32,23 +49,35 @@ pub fn chrome_trace(trace: &Trace) -> String {
                 Unit::Switch => 1,
             }
     };
-    let set = |tl: &mut Vec<Vec<Cell>>, tr: usize, cycle: u64, name: &'static str| {
+    let rec_of = |tile: u32, unit: Unit, pc: usize| -> u32 {
+        let Some(p) = prov else { return NO_PROV };
+        match unit {
+            Unit::Proc => p.proc_id(tile as usize, pc),
+            Unit::Switch => p.switch_id(tile as usize, pc),
+        }
+    };
+    let set = |tl: &mut Vec<Vec<Cell>>, tr: usize, cycle: u64, name: &'static str, rec: u32| {
         if (cycle as usize) < horizon {
-            tl[tr][cycle as usize] = Cell::Named(name);
+            tl[tr][cycle as usize] = Cell::Named(name, rec);
         }
     };
     for ev in &trace.events {
         match *ev {
-            Event::Issue { cycle, tile, .. } => {
-                set(&mut timeline, track(tile, Unit::Proc), cycle, "exec");
+            Event::Issue {
+                cycle, tile, pc, ..
+            } => {
+                let rec = rec_of(tile, Unit::Proc, pc);
+                set(&mut timeline, track(tile, Unit::Proc), cycle, "exec", rec);
             }
             Event::Stall {
                 cycle,
                 tile,
                 unit,
                 reason,
+                pc,
             } => {
-                set(&mut timeline, track(tile, unit), cycle, reason.name());
+                let rec = rec_of(tile, unit, pc);
+                set(&mut timeline, track(tile, unit), cycle, reason.name(), rec);
             }
             Event::StallSpan {
                 tile,
@@ -56,17 +85,29 @@ pub fn chrome_trace(trace: &Trace) -> String {
                 reason,
                 from,
                 to,
+                pc,
                 ..
             } => {
+                let rec = rec_of(tile, unit, pc);
                 for c in from..to {
-                    set(&mut timeline, track(tile, unit), c, reason.name());
+                    set(&mut timeline, track(tile, unit), c, reason.name(), rec);
                 }
             }
-            Event::Route { cycle, tile, .. } => {
-                set(&mut timeline, track(tile, Unit::Switch), cycle, "route");
+            Event::Route {
+                cycle, tile, pc, ..
+            } => {
+                let rec = rec_of(tile, Unit::Switch, pc);
+                set(
+                    &mut timeline,
+                    track(tile, Unit::Switch),
+                    cycle,
+                    "route",
+                    rec,
+                );
             }
-            Event::SwitchControl { cycle, tile } => {
-                set(&mut timeline, track(tile, Unit::Switch), cycle, "ctrl");
+            Event::SwitchControl { cycle, tile, pc } => {
+                let rec = rec_of(tile, Unit::Switch, pc);
+                set(&mut timeline, track(tile, Unit::Switch), cycle, "ctrl", rec);
             }
             Event::ChannelCommit { .. } | Event::Idle { .. } | Event::DynActive { .. } => {}
         }
@@ -108,7 +149,7 @@ pub fn chrome_trace(trace: &Trace) -> String {
     for (tid, cells) in timeline.iter().enumerate() {
         let mut c = 0usize;
         while c < cells.len() {
-            let Cell::Named(name) = cells[c] else {
+            let Cell::Named(name, rec) = cells[c] else {
                 c += 1;
                 continue;
             };
@@ -119,12 +160,28 @@ pub fn chrome_trace(trace: &Trace) -> String {
             let mut record = String::new();
             let _ = write!(
                 record,
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}",
                 name,
                 tid,
                 c,
                 end - c
             );
+            if let Some(r) = prov.and_then(|p| {
+                (rec != NO_PROV)
+                    .then(|| p.records.get(rec as usize))
+                    .flatten()
+            }) {
+                let _ = write!(
+                    record,
+                    ",\"args\":{{\"line\":{},\"col\":{},\"op\":\"{}\",\"tile\":{}",
+                    r.span.line, r.span.col, r.kind, r.tile
+                );
+                if let Some(v) = r.value {
+                    let _ = write!(record, ",\"value\":\"%{}\"", v.index());
+                }
+                record.push('}');
+            }
+            record.push('}');
             push(&mut out, &mut first, record);
             c = end;
         }

@@ -4,6 +4,70 @@
 //! Chrome-trace export is well-formed without pulling in an external JSON
 //! crate (the workspace is dependency-free by policy).
 
+/// A JSON syntax error: what the parser expected and where it gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub kind: JsonErrorKind,
+    /// Byte offset of the first offending position.
+    pub offset: usize,
+}
+
+/// The kinds of syntax error the parser reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// A specific punctuation byte was required.
+    Expected(char),
+    /// A `true`/`false`/`null` keyword was misspelled.
+    InvalidLiteral,
+    /// Any JSON value was required.
+    ExpectedValue,
+    /// An object needed `,` or `}` after a member.
+    ExpectedCommaOrBrace,
+    /// An array needed `,` or `]` after an element.
+    ExpectedCommaOrBracket,
+    /// A string ran off the end of the input.
+    UnterminatedString,
+    /// A backslash escape ran off the end of the input.
+    UnterminatedEscape,
+    /// An unknown backslash escape.
+    InvalidEscape,
+    /// A raw control character inside a string.
+    ControlCharacter,
+    /// Invalid UTF-8 inside a string.
+    InvalidUtf8,
+    /// A malformed or truncated `\uXXXX` escape.
+    InvalidUnicodeEscape,
+    /// A malformed number token.
+    InvalidNumber,
+    /// Extra input after the top-level value.
+    TrailingData,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use JsonErrorKind::*;
+        let what: String = match &self.kind {
+            Expected(c) => format!("expected '{c}'"),
+            InvalidLiteral => "invalid literal".into(),
+            ExpectedValue => "expected a value".into(),
+            ExpectedCommaOrBrace => "expected ',' or '}'".into(),
+            ExpectedCommaOrBracket => "expected ',' or ']'".into(),
+            UnterminatedString => "unterminated string".into(),
+            UnterminatedEscape => "unterminated escape".into(),
+            InvalidEscape => "invalid escape".into(),
+            ControlCharacter => "control character in string".into(),
+            InvalidUtf8 => "invalid UTF-8".into(),
+            InvalidUnicodeEscape => "invalid \\u escape".into(),
+            InvalidNumber => "invalid number".into(),
+            TrailingData => "trailing data".into(),
+        };
+        write!(f, "{what} at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -59,9 +123,9 @@ impl Json {
 ///
 /// # Errors
 ///
-/// Returns a message with the byte offset of the first syntax error, including
-/// trailing garbage after the top-level value.
-pub fn parse(src: &str) -> Result<Json, String> {
+/// Returns a [`JsonError`] with the byte offset of the first syntax error,
+/// including trailing garbage after the top-level value.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: src.as_bytes(),
         pos: 0,
@@ -70,7 +134,10 @@ pub fn parse(src: &str) -> Result<Json, String> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
+        return Err(JsonError {
+            kind: JsonErrorKind::TrailingData,
+            offset: p.pos,
+        });
     }
     Ok(v)
 }
@@ -81,8 +148,11 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
-    fn err<T>(&self, what: &str) -> Result<T, String> {
-        Err(format!("{} at byte {}", what, self.pos))
+    fn err<T>(&self, kind: JsonErrorKind) -> Result<T, JsonError> {
+        Err(JsonError {
+            kind,
+            offset: self.pos,
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -95,25 +165,25 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            self.err(&format!("expected '{}'", b as char))
+            self.err(JsonErrorKind::Expected(b as char))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            self.err("invalid literal")
+            self.err(JsonErrorKind::InvalidLiteral)
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -122,11 +192,11 @@ impl Parser<'_> {
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => self.err("expected a value"),
+            _ => self.err(JsonErrorKind::ExpectedValue),
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -149,12 +219,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(fields));
                 }
-                _ => return self.err("expected ',' or '}'"),
+                _ => return self.err(JsonErrorKind::ExpectedCommaOrBrace),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -172,24 +242,24 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return self.err("expected ',' or ']'"),
+                _ => return self.err(JsonErrorKind::ExpectedCommaOrBracket),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
-                return self.err("unterminated string");
+                return self.err(JsonErrorKind::UnterminatedString);
             };
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let Some(esc) = self.peek() else {
-                        return self.err("unterminated escape");
+                        return self.err(JsonErrorKind::UnterminatedEscape);
                     };
                     self.pos += 1;
                     match esc {
@@ -216,10 +286,10 @@ impl Parser<'_> {
                             };
                             out.push(ch.unwrap_or('\u{FFFD}'));
                         }
-                        _ => return self.err("invalid escape"),
+                        _ => return self.err(JsonErrorKind::InvalidEscape),
                     }
                 }
-                0x00..=0x1F => return self.err("control character in string"),
+                0x00..=0x1F => return self.err(JsonErrorKind::ControlCharacter),
                 _ => {
                     // Re-consume the full UTF-8 scalar starting at b.
                     let start = self.pos - 1;
@@ -232,26 +302,29 @@ impl Parser<'_> {
                             out.push_str(s);
                             self.pos = end;
                         }
-                        Err(_) => return self.err("invalid UTF-8"),
+                        Err(_) => return self.err(JsonErrorKind::InvalidUtf8),
                     }
                 }
             }
         }
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let bad = JsonError {
+            kind: JsonErrorKind::InvalidUnicodeEscape,
+            offset: self.pos,
+        };
         if self.pos + 4 > self.bytes.len() {
-            return self.err("truncated \\u escape");
+            return Err(bad);
         }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
-        let v = u32::from_str_radix(s, 16)
-            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        let s =
+            std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|_| bad.clone())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| bad)?;
         self.pos += 4;
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -274,10 +347,17 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
+        // The scanned range is ASCII by construction, so UTF-8 decoding can
+        // only fail if the scanner logic is wrong; surface that as a syntax
+        // error rather than a panic.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
             .map(Json::Num)
-            .map_err(|_| format!("invalid number at byte {start}"))
+            .ok_or(JsonError {
+                kind: JsonErrorKind::InvalidNumber,
+                offset: start,
+            })
     }
 }
 

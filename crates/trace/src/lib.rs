@@ -44,6 +44,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod annotate;
 pub mod chrome;
 pub mod json;
 pub mod report;
@@ -78,6 +79,8 @@ pub enum Event {
         unit: Unit,
         /// Why it stalled.
         reason: StallReason,
+        /// Program counter of the stalled instruction.
+        pc: usize,
     },
     /// A unit slept for `from..to`; `chaos` of those cycles were chaos skips.
     StallSpan {
@@ -93,6 +96,8 @@ pub enum Event {
         to: u64,
         /// Chaos-skip cycles folded into the span.
         chaos: u64,
+        /// Program counter of the blocked instruction (constant over the span).
+        pc: usize,
     },
     /// A switch fired a `ROUTE`.
     Route {
@@ -102,6 +107,8 @@ pub enum Event {
         tile: u32,
         /// The route's source→destination pairs.
         pairs: Vec<(SSrc, SDst)>,
+        /// Switch program counter of the route instruction.
+        pc: usize,
     },
     /// A switch executed a control-flow instruction.
     SwitchControl {
@@ -109,6 +116,8 @@ pub enum Event {
         cycle: u64,
         /// Tile.
         tile: u32,
+        /// Switch program counter before the step.
+        pc: usize,
     },
     /// A channel committed its staged word.
     ChannelCommit {
@@ -159,15 +168,17 @@ impl EventSink for RecordingSink {
         });
     }
 
-    fn stall(&mut self, cycle: u64, tile: u32, unit: Unit, reason: StallReason) {
+    fn stall(&mut self, cycle: u64, tile: u32, unit: Unit, reason: StallReason, pc: usize) {
         self.events.push(Event::Stall {
             cycle,
             tile,
             unit,
             reason,
+            pc,
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn stall_span(
         &mut self,
         tile: u32,
@@ -176,6 +187,7 @@ impl EventSink for RecordingSink {
         from: u64,
         to: u64,
         chaos_cycles: u64,
+        pc: usize,
     ) {
         self.events.push(Event::StallSpan {
             tile,
@@ -184,19 +196,21 @@ impl EventSink for RecordingSink {
             from,
             to,
             chaos: chaos_cycles,
+            pc,
         });
     }
 
-    fn route(&mut self, cycle: u64, tile: u32, pairs: &[(SSrc, SDst)]) {
+    fn route(&mut self, cycle: u64, tile: u32, pairs: &[(SSrc, SDst)], pc: usize) {
         self.events.push(Event::Route {
             cycle,
             tile,
             pairs: pairs.to_vec(),
+            pc,
         });
     }
 
-    fn switch_control(&mut self, cycle: u64, tile: u32) {
-        self.events.push(Event::SwitchControl { cycle, tile });
+    fn switch_control(&mut self, cycle: u64, tile: u32, pc: usize) {
+        self.events.push(Event::SwitchControl { cycle, tile, pc });
     }
 
     fn channel_commit(&mut self, cycle: u64, channel: usize, occupancy: usize) {
@@ -337,6 +351,7 @@ impl Trace {
                     tile,
                     unit,
                     reason,
+                    ..
                 } => {
                     let a = &mut acc[tile as usize];
                     match unit {
@@ -359,6 +374,7 @@ impl Trace {
                     from,
                     to,
                     chaos,
+                    ..
                 } => {
                     let a = &mut acc[tile as usize];
                     let len = to - from;
@@ -375,7 +391,7 @@ impl Trace {
                         a.routes += 1;
                     }
                 }
-                Event::SwitchControl { cycle, tile } => {
+                Event::SwitchControl { cycle, tile, .. } => {
                     let a = &mut acc[tile as usize];
                     if cycle < a.switch_window {
                         a.controls += 1;

@@ -200,6 +200,7 @@ impl<'a> Index<'a> {
                     tile,
                     unit: Unit::Proc,
                     reason,
+                    ..
                 } => {
                     idx.proc_stall[*tile as usize].insert(*cycle, *reason);
                 }
@@ -217,7 +218,9 @@ impl<'a> Index<'a> {
                         idx.proc_stall[*tile as usize].insert(c, *reason);
                     }
                 }
-                Event::Route { cycle, tile, pairs } => {
+                Event::Route {
+                    cycle, tile, pairs, ..
+                } => {
                     idx.routes[*tile as usize].insert(*cycle, pairs.as_slice());
                 }
                 Event::ChannelCommit { cycle, channel, .. } => {

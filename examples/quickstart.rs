@@ -110,7 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if !sched.switch_ops[tile].is_empty() {
             println!("  tile{tile} switch:");
-            for (t, pairs) in &sched.switch_ops[tile] {
+            for (t, _, pairs) in &sched.switch_ops[tile] {
                 println!("    cycle {t:3}: route {pairs:?}");
             }
         }

@@ -10,6 +10,7 @@ use raw_repro::cc::{compile, CompiledProgram, CompilerOptions};
 use raw_repro::ir::Program;
 use raw_repro::machine::chaos::ChaosConfig;
 use raw_repro::machine::MachineConfig;
+use raw_repro::trace::annotate::{placement_audit, SourceAnnotation};
 use raw_repro::trace::{report, RecordingSink, Trace};
 use raw_testkit::prelude::*;
 use std::path::PathBuf;
@@ -54,6 +55,37 @@ fn occupancy_table_snapshot_mxm_2x2() {
         report::link_heatmap(&trace)
     );
     check_golden("trace_occupancy_mxm_2x2.txt", &text);
+}
+
+#[test]
+fn annotated_source_snapshot_mxm_2x2() {
+    // Pins the per-source-line hotspot listing and the placement audit log.
+    // The listing's totals row also proves attribution conserves the
+    // active-window accounting for this workload.
+    let bench = raw_repro::benchmarks::mxm(4, 8, 2);
+    let program = bench.program(4).unwrap();
+    let config = MachineConfig::square(4);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    let trace = capture(&compiled, &program, None, false);
+    let ann = SourceAnnotation::build(&trace, &compiled.provenance);
+    ann.selfcheck()
+        .expect("attribution conserves window accounting");
+    let text = format!(
+        "{}\n{}",
+        ann.render(bench.source()),
+        placement_audit(&trace, &compiled.provenance, &compiled.report, 5)
+    );
+    check_golden("annotate_mxm_2x2.txt", &text);
+}
+
+#[test]
+fn critical_path_snapshot_mxm_2x2() {
+    let bench = raw_repro::benchmarks::mxm(4, 8, 2);
+    let program = bench.program(4).unwrap();
+    let config = MachineConfig::square(4);
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    let trace = capture(&compiled, &program, None, false);
+    check_golden("critical_path_mxm_2x2.txt", &report::critical_path(&trace));
 }
 
 #[test]
@@ -126,6 +158,16 @@ proptest! {
                 a.switch_window,
                 "tile {} switch: {} routes + {} ctrl + {} stalls != window {}",
                 t, a.routes, a.controls, a.switch_stall_total(), a.switch_window
+            );
+        }
+        // Source-level attribution must conserve the same accounting under
+        // every stepper and chaos level.
+        let ann = SourceAnnotation::build(&trace, &compiled.provenance);
+        if let Err((attributed, window)) = ann.selfcheck() {
+            prop_assert!(
+                false,
+                "annotation lost cycles: {} attributed vs {} in windows",
+                attributed, window
             );
         }
     }
