@@ -45,8 +45,36 @@ cargo build --offline --release
 echo "==> cargo build --release --examples"
 cargo build --offline --release --workspace --examples
 
-echo "==> cargo test"
-cargo test --offline --workspace -q
+echo "==> cargo test (serial compile pipeline, RAWCC_THREADS=1)"
+RAWCC_THREADS=1 cargo test --offline --workspace -q
+
+echo "==> cargo test (parallel compile pipeline, RAWCC_THREADS=8)"
+# Same binaries, second scheduling regime: every golden snapshot and
+# differential test must be bit-identical under an 8-worker block fan-out.
+RAWCC_THREADS=8 cargo test --offline --workspace -q
+
+echo "==> block-cache smoke (two identical compiles, second one 100% hits)"
+cache_dir="$(mktemp -d)"
+cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  compile --tiles 16 --quick --cache-dir "$cache_dir/blocks" \
+  > "$cache_dir/cold.txt"
+cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  compile --tiles 16 --quick --cache-dir "$cache_dir/blocks" \
+  > "$cache_dir/warm.txt"
+# Warm run: zero recompiles, and byte-identical asm per workload.
+if grep -qv "cache_misses=0 " "$cache_dir/warm.txt"; then
+  echo "ci: warm cache run recompiled a block:" >&2
+  cat "$cache_dir/warm.txt" >&2
+  exit 1
+fi
+cold_hashes="$(sed 's/.*\(asm_hash=0x[0-9a-f]*\)/\1/' "$cache_dir/cold.txt")"
+warm_hashes="$(sed 's/.*\(asm_hash=0x[0-9a-f]*\)/\1/' "$cache_dir/warm.txt")"
+if [[ "$cold_hashes" != "$warm_hashes" ]]; then
+  echo "ci: warm cache changed the generated asm" >&2
+  diff <(echo "$cold_hashes") <(echo "$warm_hashes") >&2 || true
+  exit 1
+fi
+rm -rf "$cache_dir"
 
 echo "==> bench smoke (reduced samples) + bench_diff self-check"
 smoke_dir="$(mktemp -d)"

@@ -1,0 +1,339 @@
+//! `raw-bench compile` — compile-time measurement for the parallel pipeline
+//! and the content-addressed block cache.
+//!
+//! Per-workload output is one greppable line:
+//!
+//! ```text
+//! mxm tiles=16 threads=8 blocks=12 wall_ms=41.3 cache_hits=0 cache_misses=12 cache_evictions=0 asm_hash=0x91b2...
+//! ```
+//!
+//! `--table` instead sweeps threads ∈ {1, 4, 8} cold plus an 8-thread warm
+//! re-compile and prints the speedup table recorded in `EXPERIMENTS.md`.
+
+use raw_benchmarks::Benchmark;
+use raw_testkit::hash64;
+use rawcc::{compile_with_cache, BlockCache, CompiledProgram, CompilerOptions, PlacementAlgorithm};
+
+/// Arguments of the `compile` subcommand.
+pub struct CompileArgs {
+    /// Machine size in tiles (power of two).
+    pub tiles: u32,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Use the scaled-down suite.
+    pub quick: bool,
+    /// Restrict to one benchmark.
+    pub bench: Option<String>,
+    /// Annealing placement with this seed (heavier, placement-dominated
+    /// compiles — the regime the cache and the worker pool are for).
+    pub anneal: Option<u64>,
+    /// Disk cache directory (cold in-memory cache when absent).
+    pub cache_dir: Option<String>,
+    /// Print the threads × cache-temperature sweep table.
+    pub table: bool,
+}
+
+impl CompileArgs {
+    /// Parses the argument list following the `compile` subcommand word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Result<CompileArgs, String> {
+        let mut out = CompileArgs {
+            tiles: 16,
+            threads: 0,
+            quick: false,
+            bench: None,
+            anneal: None,
+            cache_dir: None,
+            table: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{} requires a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--tiles" => {
+                    out.tiles = need(i)?
+                        .parse()
+                        .map_err(|_| "--tiles must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--threads" => {
+                    out.threads = need(i)?
+                        .parse()
+                        .map_err(|_| "--threads must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--bench" => {
+                    out.bench = Some(need(i)?.clone());
+                    i += 2;
+                }
+                "--anneal" => {
+                    out.anneal = Some(
+                        need(i)?
+                            .parse()
+                            .map_err(|_| "--anneal must be an integer seed".to_string())?,
+                    );
+                    i += 2;
+                }
+                "--cache-dir" => {
+                    out.cache_dir = Some(need(i)?.clone());
+                    i += 2;
+                }
+                "--quick" => {
+                    out.quick = true;
+                    i += 1;
+                }
+                "--table" => {
+                    out.table = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if !out.tiles.is_power_of_two() {
+            return Err(format!("machine size {} is not a power of two", out.tiles));
+        }
+        Ok(out)
+    }
+
+    fn options(&self, threads: usize) -> CompilerOptions {
+        let mut options = CompilerOptions {
+            threads,
+            ..CompilerOptions::default()
+        };
+        if let Some(seed) = self.anneal {
+            options.placement = PlacementAlgorithm::Annealing { seed };
+        }
+        options
+    }
+
+    fn suite(&self) -> Result<Vec<Benchmark>, String> {
+        let mut suite = if self.quick {
+            raw_benchmarks::tiny_suite()
+        } else {
+            raw_benchmarks::suite()
+        };
+        if let Some(name) = &self.bench {
+            suite.retain(|b| b.name == name);
+            if suite.is_empty() {
+                return Err(format!("unknown benchmark '{name}'"));
+            }
+        }
+        Ok(suite)
+    }
+}
+
+/// FNV over the full per-tile instruction streams: equal hash ⇔ equal asm for
+/// all practical purposes, and a one-token summary for scripts to diff.
+fn asm_hash(compiled: &CompiledProgram) -> u64 {
+    hash64(format!("{:?}", compiled.machine_program).as_bytes())
+}
+
+fn stat_line(name: &str, tiles: u32, compiled: &CompiledProgram) -> String {
+    let r = &compiled.report;
+    format!(
+        "{name} tiles={tiles} threads={} blocks={} wall_ms={:.1} cache_hits={} \
+         cache_misses={} cache_evictions={} asm_hash={:#018x}",
+        r.threads,
+        r.blocks.len(),
+        r.wall.as_secs_f64() * 1e3,
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.evictions,
+        asm_hash(compiled),
+    )
+}
+
+/// Runs the `compile` subcommand and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns a message on unknown benchmarks, unusable cache directories, or
+/// compile failures.
+pub fn compile_command(args: &CompileArgs) -> Result<String, String> {
+    let suite = args.suite()?;
+    let config = raw_machine::MachineConfig::square(args.tiles);
+    let mut out = String::new();
+    if args.table {
+        return table_command(args, &suite, &config);
+    }
+    let cache = match &args.cache_dir {
+        Some(dir) => {
+            BlockCache::with_disk(dir).map_err(|e| format!("cache dir '{dir}' unusable: {e}"))?
+        }
+        None => BlockCache::in_memory(),
+    };
+    for bench in &suite {
+        let program = bench
+            .program(args.tiles)
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+        let compiled = compile_with_cache(&program, &config, &args.options(args.threads), &cache)
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+        out.push_str(&stat_line(bench.name, args.tiles, &compiled));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The threads × cache-temperature sweep behind the EXPERIMENTS.md table.
+fn table_command(
+    args: &CompileArgs,
+    suite: &[Benchmark],
+    config: &raw_machine::MachineConfig,
+) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "compile-time sweep: {} tiles, placement={}\n",
+        args.tiles,
+        if args.anneal.is_some() {
+            "annealing"
+        } else {
+            "greedy-swap"
+        },
+    ));
+    out.push_str(
+        "benchmark        blocks   serial_ms    t4_ms    t8_ms  warm8_ms   t8_speedup  warm_hit%\n",
+    );
+    let mut tot = [0.0f64; 4];
+    for bench in suite {
+        let program = bench
+            .program(args.tiles)
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+        let mut wall = [0.0f64; 3];
+        let mut blocks = 0;
+        for (slot, threads) in [1usize, 4, 8].into_iter().enumerate() {
+            // Fresh cold cache per run: measures compilation, not caching.
+            let compiled = compile_with_cache(
+                &program,
+                config,
+                &args.options(threads),
+                &BlockCache::in_memory(),
+            )
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+            wall[slot] = compiled.report.wall.as_secs_f64() * 1e3;
+            blocks = compiled.report.blocks.len();
+        }
+        let shared = BlockCache::in_memory();
+        let options = args.options(8);
+        compile_with_cache(&program, config, &options, &shared)
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+        let warm = compile_with_cache(&program, config, &options, &shared)
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+        let warm_ms = warm.report.wall.as_secs_f64() * 1e3;
+        let hits = warm.report.cache.hits as f64;
+        let lookups = hits + warm.report.cache.misses as f64;
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>11.1} {:>8.1} {:>8.1} {:>9.2} {:>11.2}x {:>9.0}\n",
+            bench.name,
+            blocks,
+            wall[0],
+            wall[1],
+            wall[2],
+            warm_ms,
+            wall[0] / wall[2].max(1e-9),
+            100.0 * hits / lookups.max(1.0),
+        ));
+        tot[0] += wall[0];
+        tot[1] += wall[1];
+        tot[2] += wall[2];
+        tot[3] += warm_ms;
+    }
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>11.1} {:>8.1} {:>8.1} {:>9.2} {:>11.2}x\n",
+        "total",
+        "",
+        tot[0],
+        tot[1],
+        tot[2],
+        tot[3],
+        tot[0] / tot[2].max(1e-9),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = CompileArgs::parse(&[]).unwrap();
+        assert_eq!(
+            (d.tiles, d.threads, d.quick, d.table),
+            (16, 0, false, false)
+        );
+        let p = CompileArgs::parse(&s(&[
+            "--tiles",
+            "4",
+            "--threads",
+            "2",
+            "--quick",
+            "--bench",
+            "mxm",
+            "--anneal",
+            "7",
+            "--table",
+        ]))
+        .unwrap();
+        assert_eq!(p.tiles, 4);
+        assert_eq!(p.threads, 2);
+        assert!(p.quick && p.table);
+        assert_eq!(p.bench.as_deref(), Some("mxm"));
+        assert_eq!(p.anneal, Some(7));
+        assert!(CompileArgs::parse(&s(&["--tiles", "3"])).is_err());
+        assert!(CompileArgs::parse(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn compile_lines_are_greppable_and_cache_aware() {
+        let args = CompileArgs::parse(&s(&["--tiles", "4", "--quick", "--bench", "mxm"])).unwrap();
+        let text = compile_command(&args).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("mxm tiles=4 "), "line: {line}");
+        for field in [
+            "threads=",
+            "blocks=",
+            "wall_ms=",
+            "cache_hits=0",
+            "cache_misses=",
+            "cache_evictions=",
+            "asm_hash=0x",
+        ] {
+            assert!(line.contains(field), "missing '{field}' in: {line}");
+        }
+    }
+
+    #[test]
+    fn warm_disk_cache_hits_everything_and_preserves_asm_hash() {
+        let dir = std::env::temp_dir().join(format!("raw-bench-ct-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = CompileArgs::parse(&s(&[
+            "--tiles",
+            "4",
+            "--quick",
+            "--bench",
+            "mxm",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cold = compile_command(&args).unwrap();
+        let warm = compile_command(&args).unwrap();
+        let hash = |t: &str| t.split("asm_hash=").nth(1).unwrap().trim().to_string();
+        assert_eq!(hash(&cold), hash(&warm), "cache changed the asm");
+        assert!(
+            warm.contains("cache_misses=0"),
+            "warm run recompiled: {warm}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,6 +16,7 @@
 //! Every measured run is checked bit-exactly against the reference
 //! interpreter before its cycle count is reported.
 
+pub mod compiletime;
 pub mod observe;
 
 use raw_benchmarks::Benchmark;

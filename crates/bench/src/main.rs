@@ -8,6 +8,8 @@
 //! raw-bench --bench mxm --table3 # restrict to one benchmark
 //! raw-bench trace --bench mxm --tiles 16 --chrome out.json
 //! raw-bench annotate --bench mxm --tiles 16
+//! raw-bench compile --tiles 16 --threads 8 --cache-dir /tmp/rbc
+//! raw-bench compile --tiles 16 --table
 //! ```
 
 use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
@@ -21,6 +23,8 @@ USAGE:
     raw-bench [FLAGS]
     raw-bench trace [--bench NAME] [--tiles N] [--chrome PATH] [--selfcheck] [--quick]
     raw-bench annotate [--bench NAME] [--tiles N] [--top K] [--chrome PATH] [--quick]
+    raw-bench compile [--tiles N] [--threads T] [--bench NAME] [--anneal SEED]
+                      [--cache-dir PATH] [--quick] [--table]
 
 SUBCOMMANDS:
     trace           run one benchmark with cycle-accurate tracing and print the
@@ -34,6 +38,12 @@ SUBCOMMANDS:
                     the placement audit log joining runtime stalls with the
                     placer's accepted moves; fails if attribution does not
                     conserve the active-window cycle accounting
+    compile         compile the suite without running it, printing one
+                    greppable stats line per workload (wall time, worker
+                    threads, block-cache hits/misses, asm hash); --cache-dir
+                    persists the content-addressed block cache across runs,
+                    --table prints the threads x cache-temperature sweep
+                    recorded in EXPERIMENTS.md
 
 FLAGS:
     --table1        operation latencies (Table 1)
@@ -66,6 +76,25 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("raw-bench trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("compile") {
+        let parsed = match raw_bench::compiletime::CompileArgs::parse(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("raw-bench compile: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match raw_bench::compiletime::compile_command(&parsed) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("raw-bench compile: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -1,0 +1,1316 @@
+//! Content-addressed block cache for the parallel compile pipeline.
+//!
+//! [`compile_block`](crate::driver::compile_block) is a pure function of
+//! *(block IR, data layout, machine config, compiler options)*, so its result —
+//! a [`BlockBundle`] — can be cached under a key derived from exactly those
+//! inputs and replayed for any identical block: unroll clones inside one
+//! program, repeated compiles in a bench loop, or (with the on-disk layer)
+//! compiles in a later process.
+//!
+//! # Key construction
+//!
+//! The key hashes the **canonical** encoding of the block: `ValueId`s are
+//! renumbered by first appearance, so two blocks that are identical up to the
+//! program-global value numbering (e.g. unroll clones) share a key. Jump
+//! *targets* are excluded — they only affect the link phase, which reads the
+//! program directly — but the *presence* of a branch and its (canonical)
+//! condition value are included because they change codegen. Source spans are
+//! included because they flow into [`ProvRecord`](crate::provenance::ProvRecord)s.
+//! The data-layout, machine-config, and compiler-option fingerprints are
+//! appended; [`CompilerOptions::threads`](crate::options::CompilerOptions) is
+//! deliberately left out of the fingerprint because thread count cannot change
+//! any artifact (enforced by `tests/parallel_determinism.rs`).
+//!
+//! Keys are 128 bits (two independent FNV-1a passes) and the on-disk format
+//! additionally stores the full key, so a colliding or mis-filed entry is
+//! rejected rather than served.
+//!
+//! # Disk layer
+//!
+//! With `RAWCC_CACHE_DIR` set (or [`BlockCache::with_disk`]), bundles are also
+//! persisted as one file per key with a versioned header and a payload
+//! checksum. Entries are **never trusted blindly**: a truncated, bit-flipped,
+//! wrong-version, or wrong-key file fails validation, is ignored, and is
+//! overwritten by the fresh compile. `RAWCC_CACHE_VERIFY=1` additionally
+//! recompiles every hit and asserts the cached bundle is equal.
+
+use crate::driver::BlockReport;
+use crate::layout::{ArrayClass, DataLayout};
+use crate::options::{CompilerOptions, PlacementAlgorithm, PriorityScheme};
+use crate::partition::{PlacementLog, PlacementStep};
+use crate::provenance::NO_PROV;
+use crate::regalloc::AllocResult;
+use crate::schedule::{PredOpKind, PredictedBlock};
+use raw_ir::{BinOp, Block, Imm, Inst, InstKind, MemHome, SourceSpan, Terminator, UnOp, ValueId};
+use raw_machine::isa::{AluOp, Dir, Dst, PInst, SDst, SSrc, Src};
+use raw_machine::{LatencyModel, MachineConfig, TileId};
+use raw_testkit::{hash64, hash64_with};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+/// Magic prefix of on-disk cache entries.
+const MAGIC: [u8; 8] = *b"RAWCCBC\n";
+/// Bump whenever the bundle encoding or key derivation changes.
+const FORMAT_VERSION: u32 = 1;
+/// Basis of the second (independent) FNV pass forming the key's high half.
+const HI_BASIS: u64 = 0x8422_2325_cbf2_9ce4;
+/// Default in-memory capacity (bundles), evicted FIFO beyond this.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// 128-bit content-address of one block compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a over the canonical input bytes.
+    pub lo: u64,
+    /// Second FNV-1a pass with an independent basis.
+    pub hi: u64,
+}
+
+impl CacheKey {
+    /// Stable file name of this key's on-disk entry.
+    fn file_name(&self) -> String {
+        format!("{:016x}{:016x}.rbc", self.lo, self.hi)
+    }
+}
+
+/// One tile's switch ops for a block, in schedule order: `(route pairs,
+/// producing node id)` per op ([`NO_PROV`] when the moved value has no
+/// defining node).
+pub type TileSwitchOps = Vec<(Vec<(SSrc, SDst)>, u32)>;
+
+/// Everything [`compile_block`](crate::driver::compile_block) produces for one
+/// block, in block-relative form (node ids instead of absolute provenance
+/// record ids), so the bundle is independent of the block's position in the
+/// program and can be cached content-addressed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockBundle {
+    /// Per-block compile metrics (spills, makespan, placement audit, …).
+    pub report: BlockReport,
+    /// Register-allocated instruction stream per tile.
+    pub phys: Vec<AllocResult>,
+    /// Per-tile switch ops (see [`TileSwitchOps`]).
+    pub switch: Vec<TileSwitchOps>,
+    /// Tile that computes the branch condition, when the block branches.
+    pub cond_producer: Option<TileId>,
+    /// Node id of the branch-condition producer ([`NO_PROV`] when the block
+    /// does not branch).
+    pub cond_node: u32,
+    /// Executing tile per task-graph node.
+    pub node_tile: Vec<u32>,
+    /// Placement bin per task-graph node (`u32::MAX` when unplaced).
+    pub node_bin: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------------
+// Canonical input encoding (cache key).
+// ---------------------------------------------------------------------------
+
+/// Canonical byte encoding of one block's compile-relevant IR.
+///
+/// `ValueId`s are renumbered by first appearance (block-local values are
+/// monotone in definition order, so this is a bijection that preserves every
+/// ordering the compiler observes). The block name and terminator targets are
+/// excluded; spans are included (they are provenance output).
+pub fn canonical_block_bytes(block: &Block) -> Vec<u8> {
+    let mut out = Vec::with_capacity(block.insts.len() * 16 + 16);
+    let mut rank: HashMap<ValueId, u32> = HashMap::new();
+    let mut canon = |v: ValueId, out: &mut Vec<u8>| {
+        let next = rank.len() as u32;
+        let r = *rank.entry(v).or_insert(next);
+        put_u32(out, r);
+    };
+    put_u64(&mut out, block.insts.len() as u64);
+    for inst in &block.insts {
+        encode_ir_inst(inst, &mut canon, &mut out);
+    }
+    match &block.term {
+        Terminator::Jump(_) => out.push(0),
+        Terminator::Halt => out.push(1),
+        Terminator::Branch { cond, .. } => {
+            out.push(2);
+            canon(*cond, &mut out);
+        }
+    }
+    out
+}
+
+fn encode_ir_inst(inst: &Inst, canon: &mut impl FnMut(ValueId, &mut Vec<u8>), out: &mut Vec<u8>) {
+    let SourceSpan { line, col } = inst.span;
+    put_u32(out, line);
+    put_u32(out, col);
+    match inst.dst {
+        Some(v) => {
+            out.push(1);
+            canon(v, out);
+        }
+        None => out.push(0),
+    }
+    match &inst.kind {
+        InstKind::Const(imm) => {
+            out.push(0);
+            encode_imm(*imm, out);
+        }
+        InstKind::Un(op, a) => {
+            out.push(1);
+            out.push(unop_code(*op));
+            canon(*a, out);
+        }
+        InstKind::Bin(op, a, b) => {
+            out.push(2);
+            out.push(binop_code(*op));
+            canon(*a, out);
+            canon(*b, out);
+        }
+        InstKind::Load { array, index, home } => {
+            out.push(3);
+            put_u32(out, array.index() as u32);
+            canon(*index, out);
+            encode_home(*home, out);
+        }
+        InstKind::Store {
+            array,
+            index,
+            value,
+            home,
+        } => {
+            out.push(4);
+            put_u32(out, array.index() as u32);
+            canon(*index, out);
+            canon(*value, out);
+            encode_home(*home, out);
+        }
+        InstKind::ReadVar(v) => {
+            out.push(5);
+            put_u32(out, v.index() as u32);
+        }
+        InstKind::WriteVar(v, x) => {
+            out.push(6);
+            put_u32(out, v.index() as u32);
+            canon(*x, out);
+        }
+    }
+}
+
+fn encode_imm(imm: Imm, out: &mut Vec<u8>) {
+    match imm {
+        Imm::I(v) => {
+            out.push(0);
+            put_u32(out, v as u32);
+        }
+        Imm::F(v) => {
+            out.push(1);
+            put_u32(out, v.to_bits());
+        }
+    }
+}
+
+fn encode_home(home: MemHome, out: &mut Vec<u8>) {
+    match home {
+        MemHome::Static(r) => {
+            out.push(0);
+            put_u32(out, r);
+        }
+        MemHome::Dynamic => out.push(1),
+    }
+}
+
+/// Pre-encoded fingerprint of the per-compile environment (data layout,
+/// machine config, compiler options) appended to every block's canonical bytes
+/// to form its cache key.
+pub struct KeyContext {
+    env: Vec<u8>,
+}
+
+impl KeyContext {
+    /// Encodes the environment once per compile.
+    pub fn new(layout: &DataLayout, config: &MachineConfig, options: &CompilerOptions) -> Self {
+        let mut env = Vec::with_capacity(256);
+        put_u32(&mut env, FORMAT_VERSION);
+        // Data layout: every field, in declaration order.
+        put_u32(&mut env, layout.n_tiles);
+        put_u64(&mut env, layout.var_home.len() as u64);
+        for t in &layout.var_home {
+            put_u32(&mut env, t.index() as u32);
+        }
+        put_u64(&mut env, layout.var_addr.len() as u64);
+        for a in &layout.var_addr {
+            put_u32(&mut env, *a);
+        }
+        put_u64(&mut env, layout.array_base.len() as u64);
+        for a in &layout.array_base {
+            put_u32(&mut env, *a);
+        }
+        put_u64(&mut env, layout.array_class.len() as u64);
+        for c in &layout.array_class {
+            match c {
+                ArrayClass::Static => env.push(0),
+                ArrayClass::Dynamic { issue_tile } => {
+                    env.push(1);
+                    put_u32(&mut env, issue_tile.index() as u32);
+                }
+            }
+        }
+        put_u32(&mut env, layout.spill_base);
+        // Machine config: every field.
+        put_u32(&mut env, config.rows);
+        put_u32(&mut env, config.cols);
+        put_u32(&mut env, config.gprs);
+        put_u32(&mut env, config.switch_regs);
+        put_u32(&mut env, config.mem_latency);
+        put_u32(&mut env, config.mem_words);
+        env.push(match config.latency {
+            LatencyModel::Table1 => 0,
+            LatencyModel::Unit => 1,
+        });
+        put_u64(&mut env, config.port_capacity as u64);
+        put_u64(&mut env, config.dyn_fifo as u64);
+        put_u64(&mut env, config.step_limit);
+        // Compiler options: every semantic field. `threads` is excluded on
+        // purpose: worker count cannot change artifacts.
+        env.push(options.clustering as u8);
+        match options.placement {
+            PlacementAlgorithm::GreedySwap => env.push(0),
+            PlacementAlgorithm::Annealing { seed } => {
+                env.push(1);
+                put_u64(&mut env, seed);
+            }
+            PlacementAlgorithm::None => env.push(2),
+        }
+        env.push(options.placement_swap as u8);
+        env.push(match options.priority {
+            PriorityScheme::LevelFertility => 0,
+            PriorityScheme::LevelOnly => 1,
+            PriorityScheme::SourceOrder => 2,
+        });
+        put_u32(&mut env, options.cluster_comm_cost);
+        env.push(options.fold_communication as u8);
+        KeyContext { env }
+    }
+
+    /// Cache key of a block given its [`canonical_block_bytes`].
+    pub fn key(&self, block_bytes: &[u8]) -> CacheKey {
+        let lo = hash64_with(hash64(block_bytes), &self.env);
+        let hi = hash64_with(hash64_with(HI_BASIS, block_bytes), &self.env);
+        CacheKey { lo, hi }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache.
+// ---------------------------------------------------------------------------
+
+/// Block-cache effectiveness counters, surfaced per compile in
+/// [`CompileReport`](crate::driver::CompileReport).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Blocks served from the cache (memory or disk).
+    pub hits: u64,
+    /// Blocks compiled fresh.
+    pub misses: u64,
+    /// In-memory bundles evicted (FIFO) while this compile ran.
+    pub evictions: u64,
+}
+
+struct MemCache {
+    map: HashMap<CacheKey, std::sync::Arc<BlockBundle>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Thread-safe content-addressed store of [`BlockBundle`]s: a bounded
+/// in-memory layer plus an optional on-disk layer. See the module docs for the
+/// key and durability contract.
+pub struct BlockCache {
+    mem: Mutex<MemCache>,
+    capacity: usize,
+    disk: Option<PathBuf>,
+    verify: bool,
+    disk_rejects: AtomicU64,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl BlockCache {
+    /// A purely in-memory cache with the default capacity.
+    pub fn in_memory() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A purely in-memory cache holding at most `capacity` bundles.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BlockCache {
+            mem: Mutex::new(MemCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            disk: None,
+            verify: false,
+            disk_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir` on disk (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or is not writable; callers
+    /// normally fall back to [`in_memory`](Self::in_memory) (see
+    /// [`from_env`](Self::from_env)).
+    pub fn with_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        // Probe writability now so a read-only dir degrades at construction,
+        // not with a silent per-entry failure at every write.
+        let probe = dir.join(format!(".probe-{}", std::process::id()));
+        std::fs::write(&probe, b"rawcc")?;
+        let _ = std::fs::remove_file(&probe);
+        let mut cache = Self::in_memory();
+        cache.disk = Some(dir);
+        Ok(cache)
+    }
+
+    /// Builds the cache the public [`compile`](crate::compile) entry uses:
+    /// disk layer from `RAWCC_CACHE_DIR` (falling back to in-memory with a
+    /// one-time warning when unusable), verify mode from `RAWCC_CACHE_VERIFY=1`.
+    pub fn from_env() -> Self {
+        let mut cache = match std::env::var_os("RAWCC_CACHE_DIR") {
+            Some(dir) if !dir.is_empty() => match Self::with_disk(PathBuf::from(&dir)) {
+                Ok(c) => c,
+                Err(e) => {
+                    static WARN: Once = Once::new();
+                    WARN.call_once(|| {
+                        eprintln!(
+                            "rawcc: RAWCC_CACHE_DIR={} unusable ({e}); \
+                             falling back to in-memory block cache",
+                            PathBuf::from(&dir).display()
+                        );
+                    });
+                    Self::in_memory()
+                }
+            },
+            _ => Self::in_memory(),
+        };
+        cache.verify = std::env::var_os("RAWCC_CACHE_VERIFY").is_some_and(|v| v == *"1");
+        cache
+    }
+
+    /// Enables or disables hit verification (recompile every hit and assert
+    /// the cached bundle equals the fresh one).
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
+    }
+
+    /// Whether hits are recompiled and checked.
+    pub fn verify(&self) -> bool {
+        self.verify
+    }
+
+    /// The on-disk directory, when the disk layer is active.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Number of bundles currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().map.len()
+    }
+
+    /// Whether the in-memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-disk entries rejected as corrupt/stale/mis-keyed since construction.
+    pub fn disk_rejects(&self) -> u64 {
+        self.disk_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, consulting memory then disk (a disk hit is promoted
+    /// into memory). Returns the bundle and the number of evictions the
+    /// promotion caused.
+    pub fn get(&self, key: &CacheKey) -> (Option<std::sync::Arc<BlockBundle>>, u64) {
+        if let Some(b) = self.mem.lock().unwrap().map.get(key) {
+            return (Some(b.clone()), 0);
+        }
+        let Some(dir) = &self.disk else {
+            return (None, 0);
+        };
+        match self.load_disk(&dir.join(key.file_name()), key) {
+            Some(bundle) => {
+                let bundle = std::sync::Arc::new(bundle);
+                let evicted = self.put_mem(*key, bundle.clone());
+                (Some(bundle), evicted)
+            }
+            None => (None, 0),
+        }
+    }
+
+    /// Inserts a freshly compiled bundle under `key` (memory and, when
+    /// enabled, disk). Returns the number of in-memory evictions.
+    pub fn put(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> u64 {
+        if let Some(dir) = &self.disk {
+            // Best-effort: a full disk or lost race never fails the compile.
+            let _ = self.store_disk(dir, &key, &bundle);
+        }
+        self.put_mem(key, bundle)
+    }
+
+    fn put_mem(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> u64 {
+        let mut mem = self.mem.lock().unwrap();
+        if mem.map.insert(key, bundle).is_none() {
+            mem.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while mem.map.len() > self.capacity {
+            let Some(old) = mem.order.pop_front() else {
+                break;
+            };
+            if mem.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    fn store_disk(&self, dir: &Path, key: &CacheKey, bundle: &BlockBundle) -> std::io::Result<()> {
+        let payload = encode_bundle(bundle);
+        let mut entry = Vec::with_capacity(payload.len() + 44);
+        entry.extend_from_slice(&MAGIC);
+        put_u32(&mut entry, FORMAT_VERSION);
+        put_u64(&mut entry, key.lo);
+        put_u64(&mut entry, key.hi);
+        put_u64(&mut entry, payload.len() as u64);
+        put_u64(&mut entry, hash64(&payload));
+        entry.extend_from_slice(&payload);
+        // Write-then-rename so readers never observe a half-written entry.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+            key.file_name()
+        ));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&entry)?;
+        drop(f);
+        let dst = dir.join(key.file_name());
+        std::fs::rename(&tmp, &dst).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    fn load_disk(&self, path: &Path, expect: &CacheKey) -> Option<BlockBundle> {
+        let bytes = std::fs::read(path).ok()?;
+        let decoded = decode_entry(&bytes, expect);
+        if decoded.is_none() && path.exists() {
+            self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        decoded
+    }
+}
+
+/// Parses and validates a full on-disk entry; any mismatch (magic, version,
+/// key, length, checksum, payload shape) yields `None`.
+fn decode_entry(bytes: &[u8], expect: &CacheKey) -> Option<BlockBundle> {
+    let mut d = Dec::new(bytes);
+    if d.take(8)? != MAGIC {
+        return None;
+    }
+    if d.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    let key = CacheKey {
+        lo: d.u64()?,
+        hi: d.u64()?,
+    };
+    if key != *expect {
+        return None;
+    }
+    let len = d.u64()? as usize;
+    let sum = d.u64()?;
+    let payload = d.rest();
+    if payload.len() != len || hash64(payload) != sum {
+        return None;
+    }
+    decode_bundle(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Bundle (de)serialization. Little-endian, length-prefixed, no external deps.
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Defensive little-endian reader: every accessor returns `None` past the end.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Option<i32> {
+        self.u32().map(|v| v as i32)
+    }
+    fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+    /// Length prefix for a sequence whose elements occupy ≥ `min_elem` bytes:
+    /// rejects lengths that could not possibly fit in the remaining buffer, so
+    /// a corrupt length cannot cause a huge allocation.
+    fn len(&mut self, min_elem: usize) -> Option<usize> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(min_elem.max(1))? > self.buf.len() - self.pos {
+            return None;
+        }
+        Some(n)
+    }
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Div => 3,
+        Rem => 4,
+        And => 5,
+        Or => 6,
+        Xor => 7,
+        Shl => 8,
+        Shr => 9,
+        Shru => 10,
+        Slt => 11,
+        Sle => 12,
+        Seq => 13,
+        Sne => 14,
+        AddF => 15,
+        SubF => 16,
+        MulF => 17,
+        DivF => 18,
+        FLt => 19,
+        FLe => 20,
+        FEq => 21,
+    }
+}
+
+fn binop_from(code: u8) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match code {
+        0 => Add,
+        1 => Sub,
+        2 => Mul,
+        3 => Div,
+        4 => Rem,
+        5 => And,
+        6 => Or,
+        7 => Xor,
+        8 => Shl,
+        9 => Shr,
+        10 => Shru,
+        11 => Slt,
+        12 => Sle,
+        13 => Seq,
+        14 => Sne,
+        15 => AddF,
+        16 => SubF,
+        17 => MulF,
+        18 => DivF,
+        19 => FLt,
+        20 => FLe,
+        21 => FEq,
+        _ => return None,
+    })
+}
+
+fn unop_code(op: UnOp) -> u8 {
+    use UnOp::*;
+    match op {
+        Neg => 0,
+        Not => 1,
+        Mov => 2,
+        NegF => 3,
+        AbsF => 4,
+        SqrtF => 5,
+        CvtIF => 6,
+        CvtFI => 7,
+    }
+}
+
+fn unop_from(code: u8) -> Option<UnOp> {
+    use UnOp::*;
+    Some(match code {
+        0 => Neg,
+        1 => Not,
+        2 => Mov,
+        3 => NegF,
+        4 => AbsF,
+        5 => SqrtF,
+        6 => CvtIF,
+        7 => CvtFI,
+        _ => return None,
+    })
+}
+
+fn put_src(out: &mut Vec<u8>, s: Src) {
+    match s {
+        Src::Reg(r) => {
+            out.push(0);
+            put_u16(out, r);
+        }
+        Src::Imm(imm) => {
+            out.push(1);
+            encode_imm(imm, out);
+        }
+        Src::PortIn => out.push(2),
+    }
+}
+
+fn get_src(d: &mut Dec<'_>) -> Option<Src> {
+    Some(match d.u8()? {
+        0 => Src::Reg(d.u16()?),
+        1 => Src::Imm(get_imm(d)?),
+        2 => Src::PortIn,
+        _ => return None,
+    })
+}
+
+fn get_imm(d: &mut Dec<'_>) -> Option<Imm> {
+    Some(match d.u8()? {
+        0 => Imm::I(d.i32()?),
+        1 => Imm::F(f32::from_bits(d.u32()?)),
+        _ => return None,
+    })
+}
+
+fn put_dst(out: &mut Vec<u8>, dst: Dst) {
+    match dst {
+        Dst::Reg(r) => {
+            out.push(0);
+            put_u16(out, r);
+        }
+        Dst::PortOut => out.push(1),
+    }
+}
+
+fn get_dst(d: &mut Dec<'_>) -> Option<Dst> {
+    Some(match d.u8()? {
+        0 => Dst::Reg(d.u16()?),
+        1 => Dst::PortOut,
+        _ => return None,
+    })
+}
+
+fn put_pinst(out: &mut Vec<u8>, inst: &PInst) {
+    match inst {
+        PInst::Alu { op, dst, a, b } => {
+            out.push(0);
+            match op {
+                AluOp::Bin(o) => {
+                    out.push(0);
+                    out.push(binop_code(*o));
+                }
+                AluOp::Un(o) => {
+                    out.push(1);
+                    out.push(unop_code(*o));
+                }
+            }
+            put_dst(out, *dst);
+            put_src(out, *a);
+            put_src(out, *b);
+        }
+        PInst::Load { dst, addr, offset } => {
+            out.push(1);
+            put_dst(out, *dst);
+            put_src(out, *addr);
+            put_u32(out, *offset as u32);
+        }
+        PInst::Store {
+            value,
+            addr,
+            offset,
+        } => {
+            out.push(2);
+            put_src(out, *value);
+            put_src(out, *addr);
+            put_u32(out, *offset as u32);
+        }
+        PInst::DLoad { dst, gaddr } => {
+            out.push(3);
+            put_dst(out, *dst);
+            put_src(out, *gaddr);
+        }
+        PInst::DStore { gaddr, value } => {
+            out.push(4);
+            put_src(out, *gaddr);
+            put_src(out, *value);
+        }
+        PInst::Jump(t) => {
+            out.push(5);
+            put_u64(out, *t as u64);
+        }
+        PInst::Bnez { cond, target } => {
+            out.push(6);
+            put_src(out, *cond);
+            put_u64(out, *target as u64);
+        }
+        PInst::Beqz { cond, target } => {
+            out.push(7);
+            put_src(out, *cond);
+            put_u64(out, *target as u64);
+        }
+        PInst::Halt => out.push(8),
+        PInst::Nop => out.push(9),
+    }
+}
+
+fn get_pinst(d: &mut Dec<'_>) -> Option<PInst> {
+    Some(match d.u8()? {
+        0 => {
+            let op = match d.u8()? {
+                0 => AluOp::Bin(binop_from(d.u8()?)?),
+                1 => AluOp::Un(unop_from(d.u8()?)?),
+                _ => return None,
+            };
+            PInst::Alu {
+                op,
+                dst: get_dst(d)?,
+                a: get_src(d)?,
+                b: get_src(d)?,
+            }
+        }
+        1 => PInst::Load {
+            dst: get_dst(d)?,
+            addr: get_src(d)?,
+            offset: d.i32()?,
+        },
+        2 => PInst::Store {
+            value: get_src(d)?,
+            addr: get_src(d)?,
+            offset: d.i32()?,
+        },
+        3 => PInst::DLoad {
+            dst: get_dst(d)?,
+            gaddr: get_src(d)?,
+        },
+        4 => PInst::DStore {
+            gaddr: get_src(d)?,
+            value: get_src(d)?,
+        },
+        5 => PInst::Jump(d.u64()? as usize),
+        6 => PInst::Bnez {
+            cond: get_src(d)?,
+            target: d.u64()? as usize,
+        },
+        7 => PInst::Beqz {
+            cond: get_src(d)?,
+            target: d.u64()? as usize,
+        },
+        8 => PInst::Halt,
+        9 => PInst::Nop,
+        _ => return None,
+    })
+}
+
+fn dir_code(dir: Dir) -> u8 {
+    dir.index() as u8
+}
+
+fn dir_from(code: u8) -> Option<Dir> {
+    Dir::ALL.get(code as usize).copied()
+}
+
+fn put_ssrc(out: &mut Vec<u8>, s: SSrc) {
+    match s {
+        SSrc::Dir(dir) => {
+            out.push(0);
+            out.push(dir_code(dir));
+        }
+        SSrc::Proc => out.push(1),
+        SSrc::Reg(r) => {
+            out.push(2);
+            out.push(r);
+        }
+    }
+}
+
+fn get_ssrc(d: &mut Dec<'_>) -> Option<SSrc> {
+    Some(match d.u8()? {
+        0 => SSrc::Dir(dir_from(d.u8()?)?),
+        1 => SSrc::Proc,
+        2 => SSrc::Reg(d.u8()?),
+        _ => return None,
+    })
+}
+
+fn put_sdst(out: &mut Vec<u8>, s: SDst) {
+    match s {
+        SDst::Dir(dir) => {
+            out.push(0);
+            out.push(dir_code(dir));
+        }
+        SDst::Proc => out.push(1),
+        SDst::Reg(r) => {
+            out.push(2);
+            out.push(r);
+        }
+    }
+}
+
+fn get_sdst(d: &mut Dec<'_>) -> Option<SDst> {
+    Some(match d.u8()? {
+        0 => SDst::Dir(dir_from(d.u8()?)?),
+        1 => SDst::Proc,
+        2 => SDst::Reg(d.u8()?),
+        _ => return None,
+    })
+}
+
+fn put_alloc(out: &mut Vec<u8>, a: &AllocResult) {
+    put_u64(out, a.insts.len() as u64);
+    for i in &a.insts {
+        put_pinst(out, i);
+    }
+    put_u64(out, a.prov.len() as u64);
+    for p in &a.prov {
+        put_u32(out, *p);
+    }
+    match a.cond_reg {
+        Some(r) => {
+            out.push(1);
+            put_u16(out, r);
+        }
+        None => out.push(0),
+    }
+    put_u64(out, a.n_spilled as u64);
+    put_u32(out, a.spill_slots);
+}
+
+fn get_alloc(d: &mut Dec<'_>) -> Option<AllocResult> {
+    let n = d.len(1)?;
+    let insts = (0..n).map(|_| get_pinst(d)).collect::<Option<Vec<_>>>()?;
+    let n = d.len(4)?;
+    let prov = (0..n).map(|_| d.u32()).collect::<Option<Vec<_>>>()?;
+    let cond_reg = match d.u8()? {
+        0 => None,
+        1 => Some(d.u16()?),
+        _ => return None,
+    };
+    Some(AllocResult {
+        insts,
+        prov,
+        cond_reg,
+        n_spilled: d.u64()? as usize,
+        spill_slots: d.u32()?,
+    })
+}
+
+fn put_predicted(out: &mut Vec<u8>, p: &PredictedBlock) {
+    put_u64(out, p.makespan);
+    put_u64(out, p.proc_ops.len() as u64);
+    for ops in &p.proc_ops {
+        put_u64(out, ops.len() as u64);
+        for (cycle, kind) in ops {
+            put_u64(out, *cycle);
+            out.push(match kind {
+                PredOpKind::Comp => 0,
+                PredOpKind::Send => 1,
+                PredOpKind::Recv => 2,
+            });
+        }
+    }
+    put_u64(out, p.route_cycles.len() as u64);
+    for cycles in &p.route_cycles {
+        put_u64(out, cycles.len() as u64);
+        for c in cycles {
+            put_u64(out, *c);
+        }
+    }
+}
+
+fn get_predicted(d: &mut Dec<'_>) -> Option<PredictedBlock> {
+    let makespan = d.u64()?;
+    let nt = d.len(8)?;
+    let proc_ops = (0..nt)
+        .map(|_| {
+            let n = d.len(9)?;
+            (0..n)
+                .map(|_| {
+                    let cycle = d.u64()?;
+                    let kind = match d.u8()? {
+                        0 => PredOpKind::Comp,
+                        1 => PredOpKind::Send,
+                        2 => PredOpKind::Recv,
+                        _ => return None,
+                    };
+                    Some((cycle, kind))
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let nt = d.len(8)?;
+    let route_cycles = (0..nt)
+        .map(|_| {
+            let n = d.len(8)?;
+            (0..n).map(|_| d.u64()).collect::<Option<Vec<_>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(PredictedBlock {
+        makespan,
+        proc_ops,
+        route_cycles,
+    })
+}
+
+fn put_placement(out: &mut Vec<u8>, log: &PlacementLog) {
+    out.push(match log.algorithm {
+        "greedy-swap" => 1,
+        "annealing" => 2,
+        _ => 0,
+    });
+    put_u64(out, log.initial_cost as u64);
+    put_u64(out, log.final_cost as u64);
+    put_u64(out, log.steps.len() as u64);
+    for s in &log.steps {
+        put_u64(out, s.step as u64);
+        put_u64(out, s.bins.0 as u64);
+        put_u64(out, s.bins.1 as u64);
+        put_u64(out, s.delta as u64);
+    }
+}
+
+fn get_placement(d: &mut Dec<'_>) -> Option<PlacementLog> {
+    let algorithm = match d.u8()? {
+        0 => "identity",
+        1 => "greedy-swap",
+        2 => "annealing",
+        _ => return None,
+    };
+    let initial_cost = d.i64()?;
+    let final_cost = d.i64()?;
+    let n = d.len(32)?;
+    let steps = (0..n)
+        .map(|_| {
+            Some(PlacementStep {
+                step: d.u64()? as usize,
+                bins: (d.u64()? as usize, d.u64()? as usize),
+                delta: d.i64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(PlacementLog {
+        algorithm,
+        initial_cost,
+        final_cost,
+        steps,
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, r: &BlockReport) {
+    put_u64(out, r.n_nodes as u64);
+    put_u64(out, r.n_clusters as u64);
+    put_u64(out, r.n_comm_paths as u64);
+    put_u64(out, r.makespan);
+    put_u64(out, r.spills as u64);
+    put_predicted(out, &r.predicted);
+    put_placement(out, &r.placement);
+}
+
+fn get_report(d: &mut Dec<'_>) -> Option<BlockReport> {
+    Some(BlockReport {
+        n_nodes: d.u64()? as usize,
+        n_clusters: d.u64()? as usize,
+        n_comm_paths: d.u64()? as usize,
+        makespan: d.u64()?,
+        spills: d.u64()? as usize,
+        predicted: get_predicted(d)?,
+        placement: get_placement(d)?,
+    })
+}
+
+/// Serializes a bundle to the versioned on-disk payload format.
+pub fn encode_bundle(b: &BlockBundle) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    put_report(&mut out, &b.report);
+    put_u64(&mut out, b.phys.len() as u64);
+    for a in &b.phys {
+        put_alloc(&mut out, a);
+    }
+    put_u64(&mut out, b.switch.len() as u64);
+    for tile_ops in &b.switch {
+        put_u64(&mut out, tile_ops.len() as u64);
+        for (pairs, rec) in tile_ops {
+            put_u64(&mut out, pairs.len() as u64);
+            for (s, t) in pairs {
+                put_ssrc(&mut out, *s);
+                put_sdst(&mut out, *t);
+            }
+            put_u32(&mut out, *rec);
+        }
+    }
+    match b.cond_producer {
+        Some(t) => {
+            out.push(1);
+            put_u32(&mut out, t.index() as u32);
+        }
+        None => out.push(0),
+    }
+    put_u32(&mut out, b.cond_node);
+    put_u64(&mut out, b.node_tile.len() as u64);
+    for t in &b.node_tile {
+        put_u32(&mut out, *t);
+    }
+    put_u64(&mut out, b.node_bin.len() as u64);
+    for t in &b.node_bin {
+        put_u32(&mut out, *t);
+    }
+    out
+}
+
+/// Inverse of [`encode_bundle`]; `None` on any malformed or trailing input.
+pub fn decode_bundle(bytes: &[u8]) -> Option<BlockBundle> {
+    let mut d = Dec::new(bytes);
+    let bundle = decode_bundle_inner(&mut d)?;
+    if !d.at_end() {
+        return None;
+    }
+    Some(bundle)
+}
+
+fn decode_bundle_inner(d: &mut Dec<'_>) -> Option<BlockBundle> {
+    let report = get_report(d)?;
+    let n = d.len(8)?;
+    let phys = (0..n).map(|_| get_alloc(d)).collect::<Option<Vec<_>>>()?;
+    let n = d.len(8)?;
+    let switch = (0..n)
+        .map(|_| {
+            let n_ops = d.len(12)?;
+            (0..n_ops)
+                .map(|_| {
+                    let n_pairs = d.len(2)?;
+                    let pairs = (0..n_pairs)
+                        .map(|_| Some((get_ssrc(d)?, get_sdst(d)?)))
+                        .collect::<Option<Vec<_>>>()?;
+                    Some((pairs, d.u32()?))
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let cond_producer = match d.u8()? {
+        0 => None,
+        1 => Some(TileId::from_raw(d.u32()?)),
+        _ => return None,
+    };
+    let cond_node = d.u32()?;
+    let n = d.len(4)?;
+    let node_tile = (0..n).map(|_| d.u32()).collect::<Option<Vec<_>>>()?;
+    let n = d.len(4)?;
+    let node_bin = (0..n).map(|_| d.u32()).collect::<Option<Vec<_>>>()?;
+    Some(BlockBundle {
+        report,
+        phys,
+        switch,
+        cond_producer,
+        cond_node,
+        node_tile,
+        node_bin,
+    })
+}
+
+/// Round-trips a bundle through the payload codec (exposed for tests).
+pub fn roundtrip_bundle(b: &BlockBundle) -> Option<BlockBundle> {
+    decode_bundle(&encode_bundle(b))
+}
+
+// `cond_node` uses the same sentinel as provenance.
+const _: () = assert!(NO_PROV == u32::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_ir::builder::ProgramBuilder;
+
+    fn sample_bundle() -> BlockBundle {
+        BlockBundle {
+            report: BlockReport {
+                n_nodes: 3,
+                n_clusters: 2,
+                n_comm_paths: 1,
+                makespan: 17,
+                spills: 1,
+                predicted: PredictedBlock {
+                    makespan: 17,
+                    proc_ops: vec![vec![(0, PredOpKind::Comp), (3, PredOpKind::Send)], vec![]],
+                    route_cycles: vec![vec![4], vec![]],
+                },
+                placement: PlacementLog {
+                    algorithm: "annealing",
+                    initial_cost: 9,
+                    final_cost: -3,
+                    steps: vec![PlacementStep {
+                        step: 5,
+                        bins: (0, 1),
+                        delta: -12,
+                    }],
+                },
+            },
+            phys: vec![AllocResult {
+                insts: vec![
+                    PInst::Alu {
+                        op: AluOp::Bin(BinOp::MulF),
+                        dst: Dst::Reg(3),
+                        a: Src::Reg(1),
+                        b: Src::Imm(Imm::F(1.5)),
+                    },
+                    PInst::Load {
+                        dst: Dst::PortOut,
+                        addr: Src::Reg(0),
+                        offset: -4,
+                    },
+                    PInst::Halt,
+                ],
+                prov: vec![0, 1, NO_PROV],
+                cond_reg: Some(7),
+                n_spilled: 1,
+                spill_slots: 2,
+            }],
+            switch: vec![vec![(
+                vec![
+                    (SSrc::Proc, SDst::Dir(Dir::West)),
+                    (SSrc::Dir(Dir::North), SDst::Proc),
+                ],
+                2,
+            )]],
+            cond_producer: Some(TileId::from_raw(1)),
+            cond_node: 2,
+            node_tile: vec![0, 1, 0],
+            node_bin: vec![0, 1, u32::MAX],
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrips() {
+        let b = sample_bundle();
+        assert_eq!(roundtrip_bundle(&b).expect("roundtrip"), b);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_global_value_numbering() {
+        // The same computation built twice, the second time after burning a few
+        // ValueIds in another block, must hash identically.
+        let build = |pad: usize| {
+            let mut b = ProgramBuilder::new("canon");
+            let out = b.var_i32("out", 0);
+            let next = b.new_block("body");
+            for i in 0..pad {
+                let pad_var = b.var_i32(format!("pad{i}"), 0);
+                let v = b.const_i32(1);
+                b.write_var(pad_var, v);
+            }
+            b.jump(next);
+            b.switch_to(next);
+            let x = b.const_i32(6);
+            let y = b.const_i32(7);
+            let p = b.mul(x, y);
+            b.write_var(out, p);
+            b.halt();
+            b.finish().unwrap()
+        };
+        let a = build(0);
+        let b = build(3);
+        let block_a = a.block(raw_ir::BlockId::from_raw(1));
+        let block_b = b.block(raw_ir::BlockId::from_raw(1));
+        assert_eq!(
+            canonical_block_bytes(block_a),
+            canonical_block_bytes(block_b)
+        );
+    }
+
+    #[test]
+    fn key_separates_options_and_config() {
+        let mut b = ProgramBuilder::new("key");
+        let out = b.var_i32("out", 0);
+        let x = b.const_i32(2);
+        b.write_var(out, x);
+        b.halt();
+        let p = b.finish().unwrap();
+        let block = p.block(p.entry);
+        let bytes = canonical_block_bytes(block);
+
+        let config = MachineConfig::square(4);
+        let layout = DataLayout::build(&p, &config);
+        let base = CompilerOptions::default();
+        let k1 = KeyContext::new(&layout, &config, &base).key(&bytes);
+        // Thread count must NOT affect the key.
+        let threaded = CompilerOptions { threads: 8, ..base };
+        assert_eq!(k1, KeyContext::new(&layout, &config, &threaded).key(&bytes));
+        // Any semantic knob must.
+        let folded = CompilerOptions {
+            fold_communication: false,
+            ..base
+        };
+        assert_ne!(k1, KeyContext::new(&layout, &config, &folded).key(&bytes));
+        let mut small = config.clone();
+        small.gprs = 8;
+        let layout2 = DataLayout::build(&p, &small);
+        assert_ne!(k1, KeyContext::new(&layout2, &small, &base).key(&bytes));
+    }
+
+    #[test]
+    fn memory_cache_evicts_fifo() {
+        let cache = BlockCache::with_capacity(2);
+        let bundle = std::sync::Arc::new(sample_bundle());
+        let key = |i: u64| CacheKey { lo: i, hi: i };
+        assert_eq!(cache.put(key(1), bundle.clone()), 0);
+        assert_eq!(cache.put(key(2), bundle.clone()), 0);
+        assert_eq!(cache.put(key(3), bundle.clone()), 1); // evicts key 1
+        assert!(cache.get(&key(1)).0.is_none());
+        assert!(cache.get(&key(2)).0.is_some());
+        assert!(cache.get(&key(3)).0.is_some());
+    }
+}

@@ -544,7 +544,7 @@ mod tests {
         let p = b.finish().unwrap();
         let config = MachineConfig::square(n_tiles);
         let layout = DataLayout::build(&p, &config);
-        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
         let options = CompilerOptions::default();
         let part = crate::partition::partition(&g, &config, &options);
         let sched = crate::schedule::schedule(&g, &part, &config, &options);
@@ -647,7 +647,7 @@ mod tests {
         let p = b.finish().unwrap();
         let config = raw_machine::MachineConfig::square(2);
         let layout = DataLayout::build(&p, &config);
-        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
         let options = crate::options::CompilerOptions::default();
         let part = crate::partition::partition(&g, &config, &options);
         let sched = crate::schedule::schedule(&g, &part, &config, &options);

@@ -11,21 +11,24 @@
 //! and branches on that (paper §3.1's switch is a sequencer with its own
 //! branches).
 
+use crate::blockcache::{self, BlockBundle, BlockCache, KeyContext};
 use crate::codegen::{self, TileBlockCode};
 use crate::layout::{initial_memory_images, DataLayout};
-use crate::options::CompilerOptions;
+use crate::options::{CompilerOptions, PlacementAlgorithm};
 use crate::partition;
 use crate::provenance::{self, ProvRecord, ProvenanceMap, NO_PROV};
 use crate::regalloc;
 use crate::schedule::{self, broadcast_routes};
 use crate::taskgraph::TaskGraph;
 use raw_ir::interp::ExecResult;
-use raw_ir::{Imm, Program, Terminator};
+use raw_ir::{Block, Imm, Program, Terminator};
 use raw_machine::asm::{ProcAsm, SwitchAsm};
 use raw_machine::trace::EventSink;
 use raw_machine::{Machine, MachineConfig, MachineProgram, RunReport, SimError, TileCode, TileId};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Compilation failure.
@@ -51,7 +54,7 @@ impl fmt::Display for CompileError {
 impl Error for CompileError {}
 
 /// Per-block compilation metrics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BlockReport {
     /// Task-graph size.
     pub n_nodes: usize,
@@ -112,6 +115,18 @@ impl PhaseTimings {
             ("link", self.link),
         ]
     }
+
+    /// Adds another timing record field-wise (summing per-block timings; with
+    /// several workers the sum exceeds the compile's wall-clock time).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.lower += other.lower;
+        self.partition += other.partition;
+        self.place += other.place;
+        self.schedule += other.schedule;
+        self.codegen += other.codegen;
+        self.regalloc += other.regalloc;
+        self.link += other.link;
+    }
 }
 
 /// Whole-program compilation metrics.
@@ -119,8 +134,21 @@ impl PhaseTimings {
 pub struct CompileReport {
     /// Per-block metrics, indexed by block.
     pub blocks: Vec<BlockReport>,
-    /// Per-phase wall-clock compile timings.
+    /// Per-phase compile timings, summed over blocks (with several workers the
+    /// per-phase sum exceeds [`wall`](Self::wall)).
     pub timings: PhaseTimings,
+    /// Worker threads the per-block fan-out actually used.
+    pub threads: usize,
+    /// Block-cache effectiveness for this compile. Note that a *cold* parallel
+    /// compile may count duplicate blocks racing to the same key as several
+    /// misses; warm-cache counts are exact.
+    pub cache: blockcache::CacheStats,
+    /// Wall-clock time per block (lookup + compile; near zero on a cache hit).
+    pub block_wall: Vec<Duration>,
+    /// Whether each block was served from the cache.
+    pub block_cached: Vec<bool>,
+    /// End-to-end wall-clock time of the compile.
+    pub wall: Duration,
 }
 
 impl CompileReport {
@@ -242,7 +270,7 @@ pub fn compile(
     config: &MachineConfig,
     options: &CompilerOptions,
 ) -> Result<CompiledProgram, CompileError> {
-    compile_inner(program, config, options, false)
+    compile_with_cache(program, config, options, &BlockCache::from_env())
 }
 
 /// Compiles `program` sequentially for a single tile — the stand-in for the
@@ -272,7 +300,43 @@ pub fn compile_baseline(
         priority: crate::options::PriorityScheme::SourceOrder,
         ..Default::default()
     };
-    compile_inner(program, config, &options, true)
+    compile_with_cache(program, config, &options, &BlockCache::from_env())
+}
+
+/// Resolves the worker-thread count: explicit option, then the `RAWCC_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`].
+fn resolve_threads(options: &CompilerOptions) -> usize {
+    if options.threads > 0 {
+        return options.threads;
+    }
+    if let Some(n) = std::env::var("RAWCC_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives the annealing seed for one block from the global seed and the
+/// block's canonical content hash.
+///
+/// Content-based (rather than block-index-based) derivation makes the RNG
+/// stream a pure function of the block itself: deleting or reordering an
+/// *unrelated* block leaves every other block's placement unchanged, and a
+/// cached bundle stays valid wherever the block appears (see DESIGN.md §11).
+fn block_options(options: &CompilerOptions, block_hash: u64) -> CompilerOptions {
+    let mut o = *options;
+    if let PlacementAlgorithm::Annealing { seed } = o.placement {
+        let mut s = seed ^ block_hash;
+        o.placement = PlacementAlgorithm::Annealing {
+            seed: raw_testkit::rng::splitmix64(&mut s),
+        };
+    }
+    o
 }
 
 /// Debug invariant: every virtual-register source in generated code is
@@ -297,12 +361,140 @@ fn check_vcode_defs(vcode: &[TileBlockCode]) {
     }
 }
 
-fn compile_inner(
+/// Compiles one basic block end-to-end (task graph → partition → placement →
+/// event schedule → codegen → regalloc) into a position-independent
+/// [`BlockBundle`], plus the wall-clock time spent per phase.
+///
+/// This function is **pure**: the bundle depends only on the arguments — no
+/// shared mutable state, no environment, no compile-order coupling (the
+/// annealer's RNG stream is derived from `block_hash`, the block's canonical
+/// content hash from [`blockcache::canonical_block_bytes`]). Purity is what
+/// makes the block-level fan-out in [`compile_with_cache`] and the
+/// content-addressed [`BlockCache`] sound; `tests/parallel_determinism.rs`
+/// enforces it end to end.
+pub fn compile_block(
+    block: &Block,
+    layout: &DataLayout,
+    config: &MachineConfig,
+    options: &CompilerOptions,
+    block_hash: u64,
+) -> (BlockBundle, PhaseTimings) {
+    let options = block_options(options, block_hash);
+    let mut timings = PhaseTimings::default();
+
+    let phase_start = Instant::now();
+    let graph = TaskGraph::build(block, layout, config);
+    timings.lower += phase_start.elapsed();
+    debug_assert!(graph.order_edges_colocated());
+
+    let phase_start = Instant::now();
+    let (part, place_time) = partition::partition_timed(&graph, config, &options);
+    timings.partition += phase_start.elapsed().saturating_sub(place_time);
+    timings.place += place_time;
+    let phase_start = Instant::now();
+    let sched = schedule::schedule(&graph, &part, config, &options);
+    timings.schedule += phase_start.elapsed();
+    let assignment = &part.assignment;
+
+    let node_tile: Vec<u32> = assignment.iter().map(|t| t.index() as u32).collect();
+    let node_bin: Vec<u32> = (0..graph.len())
+        .map(|i| {
+            part.bin_of_node
+                .get(i)
+                .map(|&x| x as u32)
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+
+    // Branch condition producer.
+    let branch_cond = match &block.term {
+        Terminator::Branch { cond, .. } => {
+            let def = graph.def_of[cond];
+            Some((*cond, assignment[def]))
+        }
+        _ => None,
+    };
+
+    let phase_start = Instant::now();
+    let vcode: Vec<TileBlockCode> = codegen::generate(
+        &graph,
+        &sched,
+        layout,
+        branch_cond,
+        options.fold_communication,
+    );
+    timings.codegen += phase_start.elapsed();
+    #[cfg(debug_assertions)]
+    check_vcode_defs(&vcode);
+    let phase_start = Instant::now();
+    let phys: Vec<regalloc::AllocResult> = vcode
+        .into_iter()
+        .map(|c| {
+            regalloc::allocate(
+                c.insts,
+                c.prov,
+                c.n_vregs,
+                c.cond_vreg,
+                config.gprs,
+                layout.spill_base,
+            )
+        })
+        .collect();
+    timings.regalloc += phase_start.elapsed();
+
+    // Switch ops resolve to their producing nodes through `def_of`
+    // (block-relative ids; the merge phase rebases them).
+    let switch: Vec<Vec<(Vec<_>, u32)>> = sched
+        .switch_ops
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|(_, v, pairs)| {
+                    let rec = graph.def_of.get(v).map(|&n| n as u32).unwrap_or(NO_PROV);
+                    (pairs.clone(), rec)
+                })
+                .collect()
+        })
+        .collect();
+
+    let report = BlockReport {
+        n_nodes: graph.len(),
+        n_clusters: part.n_clusters,
+        n_comm_paths: sched.n_comm_paths,
+        makespan: sched.makespan,
+        spills: phys.iter().map(|p| p.n_spilled).sum(),
+        predicted: sched.predicted(),
+        placement: part.placement,
+    };
+    let bundle = BlockBundle {
+        report,
+        phys,
+        switch,
+        cond_producer: branch_cond.map(|(_, t)| t),
+        cond_node: branch_cond
+            .and_then(|(c, _)| graph.def_of.get(&c).map(|&n| n as u32))
+            .unwrap_or(NO_PROV),
+        node_tile,
+        node_bin,
+    };
+    (bundle, timings)
+}
+
+/// Like [`compile`], but with an explicit [`BlockCache`], so callers can share
+/// a warm cache across compiles (bench loops, the determinism battery, build
+/// servers) instead of the per-call cache [`compile`] builds from the
+/// environment.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unsupported machine shapes.
+pub fn compile_with_cache(
     program: &Program,
     config: &MachineConfig,
     options: &CompilerOptions,
-    baseline: bool,
+    cache: &BlockCache,
 ) -> Result<CompiledProgram, CompileError> {
+    let compile_start = Instant::now();
     let n_tiles = config.n_tiles();
     if !n_tiles.is_power_of_two() {
         return Err(CompileError::TileCountNotPowerOfTwo { n_tiles });
@@ -310,126 +502,111 @@ fn compile_inner(
     let layout = DataLayout::build(program, config);
     let n = n_tiles as usize;
 
-    struct BlockArtifact {
-        phys: Vec<regalloc::AllocResult>,
-        switch_ops: Vec<schedule::TileSwitchOps>,
-        /// Provenance record id per switch op, parallel to `switch_ops[t]`.
-        switch_recs: Vec<Vec<u32>>,
-        cond_producer: Option<TileId>,
-        /// Record id of the branch-condition producer node ([`NO_PROV`] when
-        /// the block does not branch).
-        cond_rec: u32,
+    // ---- Fan blocks out over workers: each block is looked up in the cache
+    // and compiled fresh on miss. Results land in per-block slots, so the
+    // merge below runs in program order no matter the completion order.
+    let key_ctx = KeyContext::new(&layout, config, options);
+    let blocks: Vec<&Block> = program.iter_blocks().map(|(_, b)| b).collect();
+    let workers = resolve_threads(options).min(blocks.len()).max(1);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let evictions = AtomicU64::new(0);
+
+    type Compiled = (Arc<BlockBundle>, PhaseTimings, Duration, bool);
+    let do_block = |block: &Block| -> Compiled {
+        let start = Instant::now();
+        let bytes = blockcache::canonical_block_bytes(block);
+        let block_hash = raw_testkit::hash64(&bytes);
+        let key = key_ctx.key(&bytes);
+        let (found, evicted) = cache.get(&key);
+        evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Some(bundle) = found {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if cache.verify() {
+                let (fresh, _) = compile_block(block, &layout, config, options, block_hash);
+                assert!(
+                    fresh == *bundle,
+                    "block-cache verify: cached bundle diverges from fresh compile \
+                     (key {key:?})"
+                );
+            }
+            return (bundle, PhaseTimings::default(), start.elapsed(), true);
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        let (bundle, timings) = compile_block(block, &layout, config, options, block_hash);
+        let bundle = Arc::new(bundle);
+        evictions.fetch_add(cache.put(key, bundle.clone()), Ordering::Relaxed);
+        (bundle, timings, start.elapsed(), false)
+    };
+
+    let mut compiled: Vec<Option<Compiled>> = (0..blocks.len()).map(|_| None).collect();
+    if workers == 1 {
+        for (slot, block) in compiled.iter_mut().zip(&blocks) {
+            *slot = Some(do_block(block));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(block) = blocks.get(i) else { break };
+                            out.push((i, do_block(block)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("compile worker panicked") {
+                    compiled[i] = Some(result);
+                }
+            }
+        });
     }
 
-    let mut artifacts: Vec<BlockArtifact> = Vec::with_capacity(program.blocks.len());
-    let mut report = CompileReport::default();
+    // ---- Deterministic merge, in program block order: reports, then the
+    // provenance records — rebuilt from the block's IR plus the bundle's
+    // tile/bin assignment, which keeps bundles position-independent.
+    let mut report = CompileReport {
+        threads: workers,
+        ..CompileReport::default()
+    };
     let mut prov_map = ProvenanceMap::default();
+    let mut bundles: Vec<Arc<BlockBundle>> = Vec::with_capacity(blocks.len());
+    for (b, block) in blocks.iter().enumerate() {
+        let (bundle, timings, wall, cached) = compiled[b].take().expect("every block compiled");
+        report.timings.accumulate(&timings);
+        report.block_wall.push(wall);
+        report.block_cached.push(cached);
+        report.blocks.push(bundle.report.clone());
 
-    for (b, (_, block)) in program.iter_blocks().enumerate() {
-        let phase_start = Instant::now();
-        let graph = TaskGraph::build(program, block, &layout, config);
-        report.timings.lower += phase_start.elapsed();
-        debug_assert!(graph.order_edges_colocated());
-
-        let _ = baseline;
-        let (sched, part) = {
-            let phase_start = Instant::now();
-            let (part, place_time) = partition::partition_timed(&graph, config, options);
-            report.timings.partition += phase_start.elapsed().saturating_sub(place_time);
-            report.timings.place += place_time;
-            let phase_start = Instant::now();
-            let sched = schedule::schedule(&graph, &part, config, options);
-            report.timings.schedule += phase_start.elapsed();
-            (sched, part)
-        };
-        let assignment = &part.assignment;
-
-        // Provenance records: one per task-graph node, in node order, so a
-        // node's record id is `block_base + node`.
         let block_base = prov_map.records.len() as u32;
         prov_map.block_base.push(block_base);
-        for (i, inst) in graph.insts.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate() {
             prov_map.records.push(ProvRecord {
                 span: inst.span,
                 value: inst.dst,
                 block: b as u32,
                 node: i as u32,
-                tile: assignment[i].index() as u32,
-                bin: part
-                    .bin_of_node
-                    .get(i)
-                    .map(|&x| x as u32)
-                    .unwrap_or(u32::MAX),
+                tile: bundle.node_tile[i],
+                bin: bundle.node_bin[i],
                 kind: provenance::mnemonic(&inst.kind),
             });
         }
-        // Switch ops and the branch condition resolve through `def_of`.
-        let node_rec = |n: usize| block_base + n as u32;
-        let switch_recs: Vec<Vec<u32>> = sched
-            .switch_ops
-            .iter()
-            .map(|ops| {
-                ops.iter()
-                    .map(|(_, v, _)| graph.def_of.get(v).map(|&n| node_rec(n)).unwrap_or(NO_PROV))
-                    .collect()
-            })
-            .collect();
-
-        // Branch condition producer.
-        let branch_cond = match &block.term {
-            Terminator::Branch { cond, .. } => {
-                let def = graph.def_of[cond];
-                Some((*cond, assignment[def]))
-            }
-            _ => None,
-        };
-
-        let phase_start = Instant::now();
-        let vcode: Vec<TileBlockCode> = codegen::generate(
-            &graph,
-            &sched,
-            &layout,
-            branch_cond,
-            options.fold_communication,
-        );
-        report.timings.codegen += phase_start.elapsed();
-        #[cfg(debug_assertions)]
-        check_vcode_defs(&vcode);
-        let phase_start = Instant::now();
-        let phys: Vec<regalloc::AllocResult> = vcode
-            .into_iter()
-            .map(|c| {
-                regalloc::allocate(
-                    c.insts,
-                    c.prov,
-                    c.n_vregs,
-                    c.cond_vreg,
-                    config.gprs,
-                    layout.spill_base,
-                )
-            })
-            .collect();
-        report.timings.regalloc += phase_start.elapsed();
-
-        report.blocks.push(BlockReport {
-            n_nodes: graph.len(),
-            n_clusters: part.n_clusters,
-            n_comm_paths: sched.n_comm_paths,
-            makespan: sched.makespan,
-            spills: phys.iter().map(|p| p.n_spilled).sum(),
-            predicted: sched.predicted(),
-            placement: part.placement,
-        });
-        artifacts.push(BlockArtifact {
-            phys,
-            switch_ops: sched.switch_ops,
-            switch_recs,
-            cond_producer: branch_cond.map(|(_, t)| t),
-            cond_rec: branch_cond
-                .and_then(|(c, _)| graph.def_of.get(&c).map(|&n| node_rec(n)))
-                .unwrap_or(NO_PROV),
-        });
+        bundles.push(bundle);
     }
+    // Rebase a block-relative node id to an absolute provenance record id.
+    let rebase = |base: u32, node: u32| {
+        if node == NO_PROV {
+            NO_PROV
+        } else {
+            base + node
+        }
+    };
 
     // ---- Link per-tile streams, building the pc → provenance tables in
     // lockstep (every assembler emission appends exactly one instruction, so
@@ -448,26 +625,19 @@ fn compile_inner(
         for (b, block) in program.blocks.iter().enumerate() {
             let base = prov_map.block_base[b];
             pa.bind(plabels[b]);
-            for (inst, &node) in artifacts[b].phys[t]
+            for (inst, &node) in bundles[b].phys[t]
                 .insts
                 .iter()
-                .zip(&artifacts[b].phys[t].prov)
+                .zip(&bundles[b].phys[t].prov)
             {
                 pa.push(*inst);
-                proc_pc.push(if node == NO_PROV {
-                    NO_PROV
-                } else {
-                    base + node
-                });
+                proc_pc.push(rebase(base, node));
             }
             if switch_active {
                 sa.bind(slabels[b]);
-                for ((_, _, pairs), &rec) in artifacts[b].switch_ops[t]
-                    .iter()
-                    .zip(&artifacts[b].switch_recs[t])
-                {
+                for (pairs, rec) in &bundles[b].switch[t] {
                     sa.route(pairs);
-                    switch_pc.push(rec);
+                    switch_pc.push(rebase(base, *rec));
                 }
             }
             match &block.term {
@@ -490,10 +660,10 @@ fn compile_inner(
                 Terminator::Branch {
                     if_true, if_false, ..
                 } => {
-                    let producer = artifacts[b].cond_producer.expect("branch has a producer");
-                    let cond_rec = artifacts[b].cond_rec;
+                    let producer = bundles[b].cond_producer.expect("branch has a producer");
+                    let cond_rec = rebase(base, bundles[b].cond_node);
                     if producer.index() == t {
-                        let cond_reg = artifacts[b].phys[t]
+                        let cond_reg = bundles[b].phys[t]
                             .cond_reg
                             .expect("producer keeps the condition live");
                         pa.bnez(
@@ -536,6 +706,12 @@ fn compile_inner(
         prov_map.switch_pc.push(switch_pc);
     }
     report.timings.link += phase_start.elapsed();
+    report.cache = blockcache::CacheStats {
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        evictions: evictions.load(Ordering::Relaxed),
+    };
+    report.wall = compile_start.elapsed();
 
     Ok(CompiledProgram {
         machine_program: MachineProgram { tiles },

@@ -55,6 +55,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod blockcache;
 pub mod codegen;
 pub mod driver;
 pub mod layout;
@@ -65,9 +66,10 @@ pub mod regalloc;
 pub mod schedule;
 pub mod taskgraph;
 
+pub use blockcache::{BlockBundle, BlockCache, CacheKey, CacheStats, KeyContext};
 pub use driver::{
-    compile, compile_baseline, BlockReport, CompileError, CompileReport, CompiledProgram,
-    PhaseTimings,
+    compile, compile_baseline, compile_block, compile_with_cache, BlockReport, CompileError,
+    CompileReport, CompiledProgram, PhaseTimings,
 };
 pub use layout::{ArrayClass, DataLayout};
 pub use options::{CompilerOptions, PlacementAlgorithm, PriorityScheme};

@@ -55,6 +55,11 @@ pub struct CompilerOptions {
     /// port-event order allows (paper Figure 4: "the effective overhead of the
     /// communication can be as low as two cycles").
     pub fold_communication: bool,
+    /// Worker threads for per-block compilation: `0` (the default) resolves to
+    /// the `RAWCC_THREADS` environment variable, then to
+    /// [`std::thread::available_parallelism`]. Thread count never changes the
+    /// compiled output — only wall-clock time (see `crate::blockcache`).
+    pub threads: usize,
 }
 
 impl Default for CompilerOptions {
@@ -66,6 +71,7 @@ impl Default for CompilerOptions {
             priority: PriorityScheme::LevelFertility,
             cluster_comm_cost: 4,
             fold_communication: true,
+            threads: 0,
         }
     }
 }
@@ -82,5 +88,6 @@ mod tests {
         assert_eq!(o.priority, PriorityScheme::LevelFertility);
         assert_eq!(o.cluster_comm_cost, 4);
         assert!(o.fold_communication);
+        assert_eq!(o.threads, 0, "0 = auto-detect worker count");
     }
 }

@@ -34,7 +34,7 @@ pub struct Partition {
 }
 
 /// One accepted swap in the placement optimizer.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlacementStep {
     /// Move index within the optimization run at which the swap was accepted.
     pub step: usize,
@@ -47,7 +47,7 @@ pub struct PlacementStep {
 /// Audit log of the placement phase: which algorithm ran, the communication
 /// cost (total data-edge hops) before and after, and every accepted swap that
 /// made it into the final assignment, in application order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlacementLog {
     /// `"identity"`, `"greedy-swap"`, or `"annealing"`.
     pub algorithm: &'static str,
@@ -546,7 +546,7 @@ mod tests {
         let p = b.finish().unwrap();
         let config = MachineConfig::square(n_tiles);
         let layout = DataLayout::build(&p, &config);
-        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
         (p, config, g)
     }
 

@@ -19,7 +19,7 @@ pub const NO_PROV: u32 = u32::MAX;
 
 /// Provenance of one task-graph node: where it came from and where the
 /// compiler put it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProvRecord {
     /// Source position the IR instruction was lowered from (`SourceSpan::NONE`
     /// for compiler-synthesized instructions).
@@ -42,7 +42,7 @@ pub struct ProvRecord {
 }
 
 /// Whole-program provenance tables produced by [`compile`](crate::compile).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProvenanceMap {
     /// One record per (block, task-graph node), blocks in program order and
     /// nodes in graph order within each block.

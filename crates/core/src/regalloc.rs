@@ -23,7 +23,7 @@ const TMP1: u16 = 1;
 const RESERVED: u16 = 2;
 
 /// Result of allocating one tile-block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AllocResult {
     /// Rewritten instructions over physical registers.
     pub insts: Vec<PInst>,

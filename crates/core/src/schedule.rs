@@ -64,7 +64,7 @@ impl PredOpKind {
 /// compile report so the `raw-trace` crate can diff it against the simulator's
 /// *observed* trace (the cost-model divergence the paper's §4.2 cost model
 /// glosses over: operand arrival jitter, port back-pressure, branch overhead).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PredictedBlock {
     /// Predicted completion time of the block (block-relative cycles).
     pub makespan: u64,
@@ -562,7 +562,7 @@ mod tests {
         let p = b.finish().unwrap();
         let config = MachineConfig::square(n_tiles);
         let layout = DataLayout::build(&p, &config);
-        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
         let options = CompilerOptions::default();
         let part = crate::partition::partition(&g, &config, &options);
         let sched = schedule(&g, &part, &config, &options);

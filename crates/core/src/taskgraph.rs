@@ -12,7 +12,7 @@
 //! dependence handling of paper §5.1 sound in a distributed schedule.
 
 use crate::layout::{ArrayClass, DataLayout};
-use raw_ir::{Block, Inst, InstKind, MemHome, Program, ValueId};
+use raw_ir::{Block, Inst, InstKind, MemHome, ValueId};
 use raw_machine::{MachineConfig, TileId};
 use std::collections::HashMap;
 
@@ -50,12 +50,7 @@ pub struct TaskGraph {
 
 impl TaskGraph {
     /// Builds the task graph for `block`.
-    pub fn build(
-        _program: &Program,
-        block: &Block,
-        layout: &DataLayout,
-        config: &MachineConfig,
-    ) -> TaskGraph {
+    pub fn build(block: &Block, layout: &DataLayout, config: &MachineConfig) -> TaskGraph {
         let n = block.insts.len();
         let mut g = TaskGraph {
             insts: block.insts.to_vec(),
@@ -265,7 +260,7 @@ fn pin_of(inst: &Inst, layout: &DataLayout) -> Option<TileId> {
 mod tests {
     use super::*;
     use raw_ir::builder::ProgramBuilder;
-    use raw_ir::Ty;
+    use raw_ir::{Program, Ty};
 
     fn graph_for(build: impl FnOnce(&mut ProgramBuilder), n_tiles: u32) -> (Program, TaskGraph) {
         let mut b = ProgramBuilder::new("t");
@@ -274,7 +269,7 @@ mod tests {
         let p = b.finish().unwrap();
         let config = MachineConfig::square(n_tiles);
         let layout = DataLayout::build(&p, &config);
-        let g = TaskGraph::build(&p, p.block(p.entry), &layout, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
         (p, g)
     }
 

@@ -31,7 +31,15 @@ pub use rng::Rng;
 /// sources, initial data) so accidental generator drift fails loudly.
 #[must_use]
 pub fn hash64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    hash64_with(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a 64-bit hash continued from an arbitrary `basis` — chain calls to
+/// hash multi-part inputs without concatenating, or pick an independent basis
+/// for a second hash (the block cache builds its 128-bit keys this way).
+#[must_use]
+pub fn hash64_with(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== (b) task graph builder ==");
-    let graph = TaskGraph::build(&program, program.block(program.entry), &layout, &config);
+    let graph = TaskGraph::build(program.block(program.entry), &layout, &config);
     for n in 0..graph.len() {
         let succs: Vec<String> = graph.succs[n]
             .iter()
