@@ -129,6 +129,32 @@ for e in tagged:
 PY
 rm -rf "$annotate_dir"
 
+echo "==> scenario smoke (faulty-tile compile, co-residency, stepper differentials)"
+scenario_dir="$(mktemp -d)"
+# The scenario subcommand fails by itself on any differential mismatch:
+# masked tiles carrying code, stepper divergence (clean or chaos), traced vs
+# untraced drift, or a co-resident program whose result differs from its
+# solo run.
+cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  scenario --quick > "$scenario_dir/scenario.txt"
+grep -q "scenario pointer-chase " "$scenario_dir/scenario.txt"
+grep -q "^coresident " "$scenario_dir/scenario.txt"
+grep -q "all checks passed" "$scenario_dir/scenario.txt"
+# Masked compiles must be byte-identical across worker-thread counts: diff
+# the per-scenario asm hashes between a serial and an 8-worker compile.
+RAWCC_THREADS=1 cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  scenario --quick --bench gather > "$scenario_dir/t1.txt"
+RAWCC_THREADS=8 cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  scenario --quick --bench gather > "$scenario_dir/t8.txt"
+t1_hashes="$(grep -o 'asm_hash=0x[0-9a-f]*' "$scenario_dir/t1.txt")"
+t8_hashes="$(grep -o 'asm_hash=0x[0-9a-f]*' "$scenario_dir/t8.txt")"
+if [[ -z "$t1_hashes" || "$t1_hashes" != "$t8_hashes" ]]; then
+  echo "ci: masked compile asm differs across RAWCC_THREADS=1 vs =8" >&2
+  diff <(echo "$t1_hashes") <(echo "$t8_hashes") >&2 || true
+  exit 1
+fi
+rm -rf "$scenario_dir"
+
 echo "==> differential: tracing with provenance stays bit-identical"
 # The trace subcommand's --selfcheck (run above) already asserts traced ==
 # untraced cycle counts with the full provenance plumbing compiled in; repeat

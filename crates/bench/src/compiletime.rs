@@ -31,6 +31,9 @@ pub struct CompileArgs {
     pub cache_dir: Option<String>,
     /// Print the threads × cache-temperature sweep table.
     pub table: bool,
+    /// Recompile each workload single-threaded on a cold cache and fail on
+    /// any asm-hash drift (determinism self-check).
+    pub selfcheck: bool,
 }
 
 impl CompileArgs {
@@ -48,6 +51,7 @@ impl CompileArgs {
             anneal: None,
             cache_dir: None,
             table: false,
+            selfcheck: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -92,6 +96,10 @@ impl CompileArgs {
                     out.table = true;
                     i += 1;
                 }
+                "--selfcheck" => {
+                    out.selfcheck = true;
+                    i += 1;
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -121,6 +129,14 @@ impl CompileArgs {
         if let Some(name) = &self.bench {
             suite.retain(|b| b.name == name);
             if suite.is_empty() {
+                // Fall back to the scenario kernels so they can be measured too.
+                suite.extend(
+                    raw_benchmarks::scenario_suite()
+                        .into_iter()
+                        .filter(|b| b.name == name),
+                );
+            }
+            if suite.is_empty() {
                 return Err(format!("unknown benchmark '{name}'"));
             }
         }
@@ -138,13 +154,14 @@ fn stat_line(name: &str, tiles: u32, compiled: &CompiledProgram) -> String {
     let r = &compiled.report;
     format!(
         "{name} tiles={tiles} threads={} blocks={} wall_ms={:.1} cache_hits={} \
-         cache_misses={} cache_evictions={} asm_hash={:#018x}",
+         cache_misses={} cache_evictions={} cache_evicted_bytes={} asm_hash={:#018x}",
         r.threads,
         r.blocks.len(),
         r.wall.as_secs_f64() * 1e3,
         r.cache.hits,
         r.cache.misses,
         r.cache.evictions,
+        r.cache.evicted_bytes,
         asm_hash(compiled),
     )
 }
@@ -174,8 +191,32 @@ pub fn compile_command(args: &CompileArgs) -> Result<String, String> {
             .map_err(|e| format!("{}: {e}", bench.name))?;
         let compiled = compile_with_cache(&program, &config, &args.options(args.threads), &cache)
             .map_err(|e| format!("{}: {e}", bench.name))?;
+        if args.selfcheck {
+            // Determinism oracle: a single-threaded cold-cache compile must
+            // produce byte-identical code, whatever the measured run's thread
+            // count or cache temperature.
+            let reference = compile_with_cache(
+                &program,
+                &config,
+                &args.options(1),
+                &BlockCache::in_memory(),
+            )
+            .map_err(|e| format!("{}: selfcheck compile: {e}", bench.name))?;
+            if asm_hash(&compiled) != asm_hash(&reference) {
+                return Err(format!(
+                    "{}: selfcheck failed: asm hash {:#018x} differs from \
+                     single-threaded cold-cache reference {:#018x}",
+                    bench.name,
+                    asm_hash(&compiled),
+                    asm_hash(&reference)
+                ));
+            }
+        }
         out.push_str(&stat_line(bench.name, args.tiles, &compiled));
         out.push('\n');
+    }
+    if args.selfcheck {
+        out.push_str("selfcheck: all asm hashes match the single-threaded cold-cache reference\n");
     }
     Ok(out)
 }
@@ -295,7 +336,15 @@ mod tests {
 
     #[test]
     fn compile_lines_are_greppable_and_cache_aware() {
-        let args = CompileArgs::parse(&s(&["--tiles", "4", "--quick", "--bench", "mxm"])).unwrap();
+        let args = CompileArgs::parse(&s(&[
+            "--tiles",
+            "4",
+            "--quick",
+            "--bench",
+            "mxm",
+            "--selfcheck",
+        ]))
+        .unwrap();
         let text = compile_command(&args).unwrap();
         let line = text.lines().next().unwrap();
         assert!(line.starts_with("mxm tiles=4 "), "line: {line}");
@@ -306,10 +355,19 @@ mod tests {
             "cache_hits=0",
             "cache_misses=",
             "cache_evictions=",
+            "cache_evicted_bytes=",
             "asm_hash=0x",
         ] {
             assert!(line.contains(field), "missing '{field}' in: {line}");
         }
+        assert!(text.contains("selfcheck: all asm hashes match"), "{text}");
+    }
+
+    #[test]
+    fn scenario_kernels_compile_by_name() {
+        let args = CompileArgs::parse(&s(&["--tiles", "4", "--bench", "pointer-chase"])).unwrap();
+        let text = compile_command(&args).unwrap();
+        assert!(text.starts_with("pointer-chase tiles=4 "), "{text}");
     }
 
     #[test]

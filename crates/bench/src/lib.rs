@@ -18,6 +18,7 @@
 
 pub mod compiletime;
 pub mod observe;
+pub mod scenario;
 
 use raw_benchmarks::Benchmark;
 use raw_ir::interp::Interpreter;

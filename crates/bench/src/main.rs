@@ -10,6 +10,7 @@
 //! raw-bench annotate --bench mxm --tiles 16
 //! raw-bench compile --tiles 16 --threads 8 --cache-dir /tmp/rbc
 //! raw-bench compile --tiles 16 --table
+//! raw-bench scenario --quick
 //! ```
 
 use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
@@ -24,7 +25,8 @@ USAGE:
     raw-bench trace [--bench NAME] [--tiles N] [--chrome PATH] [--selfcheck] [--quick]
     raw-bench annotate [--bench NAME] [--tiles N] [--top K] [--chrome PATH] [--quick]
     raw-bench compile [--tiles N] [--threads T] [--bench NAME] [--anneal SEED]
-                      [--cache-dir PATH] [--quick] [--table]
+                      [--cache-dir PATH] [--quick] [--table] [--selfcheck]
+    raw-bench scenario [--bench NAME] [--quick]
 
 SUBCOMMANDS:
     trace           run one benchmark with cycle-accurate tracing and print the
@@ -43,7 +45,14 @@ SUBCOMMANDS:
                     threads, block-cache hits/misses, asm hash); --cache-dir
                     persists the content-addressed block cache across runs,
                     --table prints the threads x cache-temperature sweep
-                    recorded in EXPERIMENTS.md
+                    recorded in EXPERIMENTS.md, --selfcheck recompiles
+                    single-threaded on a cold cache and fails on any asm drift
+    scenario        run the adversarial mesh scenario suite: dynamic-network
+                    kernels compiled around a faulty-tile map, differentially
+                    validated (tracked vs reference stepper, traced vs
+                    untraced, chaos sweep) plus a co-residency isolation
+                    check; prints per-scenario stats lines, occupancy tables,
+                    and the EXPERIMENTS.md summary table
 
 FLAGS:
     --table1        operation latencies (Table 1)
@@ -76,6 +85,25 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("raw-bench trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("scenario") {
+        let parsed = match raw_bench::scenario::ScenarioArgs::parse(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("raw-bench scenario: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match raw_bench::scenario::scenario_command(&parsed) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("raw-bench scenario: {e}");
                 ExitCode::FAILURE
             }
         };

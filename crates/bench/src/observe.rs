@@ -104,8 +104,14 @@ fn compile_and_trace(
         .iter()
         .find(|b| b.name == name)
         .cloned()
+        .or_else(|| {
+            raw_benchmarks::scenario_suite()
+                .into_iter()
+                .find(|b| b.name == name)
+        })
         .ok_or_else(|| {
-            let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+            let mut names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+            names.extend(raw_benchmarks::scenario_suite().iter().map(|b| b.name));
             format!(
                 "unknown benchmark '{name}' (available: {})",
                 names.join(", ")

@@ -259,6 +259,78 @@ pub fn tomcatv(n: u32, iters: u32) -> Benchmark {
     }
 }
 
+/// Pointer chase: `steps` hops of `cur = P[cur]` over a host-seeded
+/// single-cycle permutation of `n` slots, accumulating payloads from `V`.
+/// Latency-bound dynamic-network traffic: each hop's address depends on the
+/// previous hop's reply.
+pub fn pointer_chase(n: u32, steps: u32) -> Benchmark {
+    let source = sources::instantiate(
+        sources::POINTER_CHASE,
+        &[("N", n as i64), ("STEPS", steps as i64)],
+    );
+    // Sattolo's algorithm: a uniformly random permutation with a single cycle,
+    // so the walk keeps hopping between homes instead of settling into a
+    // short loop.
+    let mut r = rng("pointer-chase");
+    let mut perm: Vec<i32> = (0..n as i32).collect();
+    for i in (1..n as usize).rev() {
+        let j = r.gen_range(0..i as i32) as usize;
+        perm.swap(i, j);
+    }
+    let mut r2 = rng("pointer-chase-v");
+    Benchmark {
+        name: "pointer-chase",
+        description: "Serial permutation walk over the dynamic network",
+        array_size: "-",
+        source,
+        inits: vec![
+            ("P".into(), perm.into_iter().map(Imm::I).collect()),
+            (
+                "V".into(),
+                (0..n).map(|_| Imm::I(r2.gen_range(0..100))).collect(),
+            ),
+        ],
+    }
+}
+
+/// Scatter/histogram: `n` data-dependent read-modify-writes into `bins`
+/// colliding histogram slots.
+pub fn scatter(n: u32, bins: u32) -> Benchmark {
+    let source = sources::instantiate(sources::SCATTER, &[("N", n as i64), ("BINS", bins as i64)]);
+    let mut r = rng("scatter");
+    Benchmark {
+        name: "scatter",
+        description: "Data-dependent histogram scatter",
+        array_size: "-",
+        source,
+        inits: vec![(
+            "D".into(),
+            (0..n).map(|_| Imm::I(r.gen_range(0..1000))).collect(),
+        )],
+    }
+}
+
+/// Indirect gather: `n` independent data-dependent loads `A[IDX[i]]` summed.
+pub fn gather(n: u32) -> Benchmark {
+    let source = sources::instantiate(sources::GATHER, &[("N", n as i64)]);
+    let mut r = rng("gather");
+    let idx: Vec<Imm> = (0..n).map(|_| Imm::I(r.gen_range(0..n as i32))).collect();
+    let mut r2 = rng("gather-a");
+    Benchmark {
+        name: "gather",
+        description: "Indirect gather over the dynamic network",
+        array_size: "-",
+        source,
+        inits: vec![
+            ("IDX".into(), idx),
+            (
+                "A".into(),
+                (0..n).map(|_| Imm::I(r2.gen_range(-50..50))).collect(),
+            ),
+        ],
+    }
+}
+
 /// The fpppp-kernel stand-in (see [`fpppp`]).
 pub fn fpppp_kernel(shape: FppppShape) -> Benchmark {
     Benchmark {
@@ -302,9 +374,21 @@ pub fn tiny_suite() -> Vec<Benchmark> {
     ]
 }
 
-/// Looks up a suite benchmark by name.
+/// The adversarial scenario suite: dynamic-network-heavy kernels whose every
+/// address is data-dependent. Kept separate from [`suite`] (whose workloads
+/// are golden-pinned); the scenario harness (`raw-bench scenario`) runs these
+/// under faulty-tile masks, co-residency, and chaos.
+pub fn scenario_suite() -> Vec<Benchmark> {
+    vec![pointer_chase(16, 48), scatter(32, 4), gather(32)]
+}
+
+/// Looks up a suite benchmark by name, searching [`suite`] then
+/// [`scenario_suite`].
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    suite().into_iter().find(|b| b.name == name)
+    suite()
+        .into_iter()
+        .chain(scenario_suite())
+        .find(|b| b.name == name)
 }
 
 #[cfg(test)]
@@ -477,6 +561,51 @@ mod tests {
             "generated workloads drifted; if intentional, re-pin:\n{}",
             repin.join("\n")
         );
+    }
+
+    #[test]
+    fn scenario_suite_compiles_and_runs_everywhere() {
+        for bench in scenario_suite() {
+            for n in [1u32, 2, 4] {
+                let p = bench.program(n).expect(bench.name);
+                let r = Interpreter::new(&p)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} @{n}: {e}", bench.name));
+                assert!(r.insts_executed > 0, "{}", bench.name);
+            }
+        }
+        assert!(by_name("pointer-chase").is_some());
+    }
+
+    #[test]
+    fn pointer_chase_matches_host_walk() {
+        let bench = pointer_chase(16, 48);
+        let p = bench.program(1).unwrap();
+        let r = Interpreter::new(&p).run().unwrap();
+        let perm = r.array_values(p.array_by_name("P").unwrap());
+        let vals = r.array_values(p.array_by_name("V").unwrap());
+        let out = r.array_values(p.array_by_name("OUT").unwrap());
+        let geti = |v: &Imm| match v {
+            Imm::I(x) => *x,
+            Imm::F(_) => panic!("integer expected"),
+        };
+        let (mut cur, mut sum) = (0i32, 0i32);
+        for _ in 0..48 {
+            sum += geti(&vals[cur as usize]);
+            cur = geti(&perm[cur as usize]);
+        }
+        assert_eq!(geti(&out[0]), sum);
+        assert_eq!(geti(&out[1]), cur);
+        // Sattolo permutation: single cycle covering all slots.
+        let (mut seen, mut at) = (0, 0usize);
+        loop {
+            at = geti(&perm[at]) as usize;
+            seen += 1;
+            if at == 0 {
+                break;
+            }
+        }
+        assert_eq!(seen, 16, "P must be one full cycle");
     }
 
     #[test]

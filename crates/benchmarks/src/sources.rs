@@ -188,6 +188,53 @@ for (t = 0; t < @ITERS@; t = t + 1) {
 }
 ";
 
+/// Pointer chasing over a host-seeded permutation: `@STEPS@` hops of
+/// `cur = P[cur]`, accumulating the visited payloads. Every subscript is
+/// data-dependent, so each hop is a serial round trip on the dynamic
+/// network — the adversarial workload for wormhole routing and the tracked
+/// stepper's sleep gating.
+pub const POINTER_CHASE: &str = "
+int i; int cur; int sum;
+int P[@N@];
+int V[@N@];
+int OUT[2];
+cur = 0;
+sum = 0;
+for (i = 0; i < @STEPS@; i = i + 1) {
+  sum = sum + V[cur];
+  cur = P[cur];
+}
+OUT[0] = sum;
+OUT[1] = cur;
+";
+
+/// Scatter/histogram: data-dependent read-modify-write `H[D[i] % @BINS@]`,
+/// stressing in-flight dynamic loads and stores to colliding homes.
+pub const SCATTER: &str = "
+int i; int k;
+int D[@N@];
+int H[@BINS@];
+for (i = 0; i < @N@; i = i + 1) {
+  k = D[i] % @BINS@;
+  H[k] = H[k] + 1;
+}
+";
+
+/// Indirect gather: `S += A[IDX[i]]` with a host-seeded index array — many
+/// independent dynamic loads in flight at once (the throughput counterpart to
+/// the latency-bound pointer chase).
+pub const GATHER: &str = "
+int i; int s;
+int IDX[@N@];
+int A[@N@];
+int OUT[1];
+s = 0;
+for (i = 0; i < @N@; i = i + 1) {
+  s = s + A[IDX[i]];
+}
+OUT[0] = s;
+";
+
 /// Substitutes `@KEY@` placeholders.
 pub fn instantiate(template: &str, substitutions: &[(&str, i64)]) -> String {
     let mut out = template.to_string();
@@ -219,6 +266,9 @@ mod tests {
             (CHOLESKY, vec![("MATS", 1), ("N", 4)]),
             (VPENTA, vec![("N", 8), ("N1", 7), ("N2", 6), ("N3", 5)]),
             (TOMCATV, vec![("N", 8), ("N1", 7), ("ITERS", 1)]),
+            (POINTER_CHASE, vec![("N", 8), ("STEPS", 16)]),
+            (SCATTER, vec![("N", 16), ("BINS", 4)]),
+            (GATHER, vec![("N", 16)]),
         ];
         for (template, subs) in cases {
             let src = instantiate(template, &subs);

@@ -54,11 +54,14 @@ use std::sync::{Mutex, Once};
 /// Magic prefix of on-disk cache entries.
 const MAGIC: [u8; 8] = *b"RAWCCBC\n";
 /// Bump whenever the bundle encoding or key derivation changes.
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 /// Basis of the second (independent) FNV pass forming the key's high half.
 const HI_BASIS: u64 = 0x8422_2325_cbf2_9ce4;
 /// Default in-memory capacity (bundles), evicted FIFO beyond this.
 const DEFAULT_CAPACITY: usize = 4096;
+/// Default in-memory byte budget (sum of encoded bundle sizes), evicted FIFO
+/// beyond this.
+const DEFAULT_BYTE_BUDGET: usize = 64 << 20;
 
 /// 128-bit content-address of one block compilation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -231,6 +234,10 @@ impl KeyContext {
         put_u32(&mut env, FORMAT_VERSION);
         // Data layout: every field, in declaration order.
         put_u32(&mut env, layout.n_tiles);
+        put_u64(&mut env, layout.live.len() as u64);
+        for t in &layout.live {
+            put_u32(&mut env, t.index() as u32);
+        }
         put_u64(&mut env, layout.var_home.len() as u64);
         for t in &layout.var_home {
             put_u32(&mut env, t.index() as u32);
@@ -268,6 +275,9 @@ impl KeyContext {
         put_u64(&mut env, config.port_capacity as u64);
         put_u64(&mut env, config.dyn_fifo as u64);
         put_u64(&mut env, config.step_limit);
+        // Two masks with the same live count produce different placements, so
+        // the mask bits themselves are part of the key.
+        put_u64(&mut env, config.faulty.bits());
         // Compiler options: every semantic field. `threads` is excluded on
         // purpose: worker count cannot change artifacts.
         env.push(options.clustering as u8);
@@ -312,19 +322,36 @@ pub struct CacheStats {
     pub misses: u64,
     /// In-memory bundles evicted (FIFO) while this compile ran.
     pub evictions: u64,
+    /// Encoded bytes of the evicted bundles.
+    pub evicted_bytes: u64,
+}
+
+/// Eviction tally of one cache mutation: how many bundles left the in-memory
+/// layer and how many encoded bytes they held.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Evicted {
+    /// Bundles evicted.
+    pub entries: u64,
+    /// Encoded payload bytes of those bundles.
+    pub bytes: u64,
 }
 
 struct MemCache {
-    map: HashMap<CacheKey, std::sync::Arc<BlockBundle>>,
+    /// Bundle plus its encoded payload size (the unit of the byte budget).
+    map: HashMap<CacheKey, (std::sync::Arc<BlockBundle>, usize)>,
     order: VecDeque<CacheKey>,
+    /// Sum of encoded sizes of every resident bundle.
+    total_bytes: usize,
 }
 
 /// Thread-safe content-addressed store of [`BlockBundle`]s: a bounded
-/// in-memory layer plus an optional on-disk layer. See the module docs for the
-/// key and durability contract.
+/// in-memory layer (bundle count *and* byte budget, both FIFO) plus an
+/// optional on-disk layer. See the module docs for the key and durability
+/// contract.
 pub struct BlockCache {
     mem: Mutex<MemCache>,
     capacity: usize,
+    byte_budget: usize,
     disk: Option<PathBuf>,
     verify: bool,
     disk_rejects: AtomicU64,
@@ -342,14 +369,24 @@ impl BlockCache {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// A purely in-memory cache holding at most `capacity` bundles.
+    /// A purely in-memory cache holding at most `capacity` bundles under the
+    /// default byte budget.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_budget(capacity, DEFAULT_BYTE_BUDGET)
+    }
+
+    /// A purely in-memory cache holding at most `capacity` bundles and at most
+    /// `byte_budget` encoded payload bytes (whichever bound bites first
+    /// triggers FIFO eviction).
+    pub fn with_budget(capacity: usize, byte_budget: usize) -> Self {
         BlockCache {
             mem: Mutex::new(MemCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
+                total_bytes: 0,
             }),
             capacity: capacity.max(1),
+            byte_budget: byte_budget.max(1),
             disk: None,
             verify: false,
             disk_rejects: AtomicU64::new(0),
@@ -422,6 +459,16 @@ impl BlockCache {
         self.mem.lock().unwrap().map.len()
     }
 
+    /// Encoded payload bytes currently held in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.mem.lock().unwrap().total_bytes
+    }
+
+    /// The in-memory byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
     /// Whether the in-memory layer is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -433,14 +480,14 @@ impl BlockCache {
     }
 
     /// Looks up `key`, consulting memory then disk (a disk hit is promoted
-    /// into memory). Returns the bundle and the number of evictions the
-    /// promotion caused.
-    pub fn get(&self, key: &CacheKey) -> (Option<std::sync::Arc<BlockBundle>>, u64) {
-        if let Some(b) = self.mem.lock().unwrap().map.get(key) {
-            return (Some(b.clone()), 0);
+    /// into memory). Returns the bundle and the evictions the promotion
+    /// caused.
+    pub fn get(&self, key: &CacheKey) -> (Option<std::sync::Arc<BlockBundle>>, Evicted) {
+        if let Some((b, _)) = self.mem.lock().unwrap().map.get(key) {
+            return (Some(b.clone()), Evicted::default());
         }
         let Some(dir) = &self.disk else {
-            return (None, 0);
+            return (None, Evicted::default());
         };
         match self.load_disk(&dir.join(key.file_name()), key) {
             Some(bundle) => {
@@ -448,13 +495,13 @@ impl BlockCache {
                 let evicted = self.put_mem(*key, bundle.clone());
                 (Some(bundle), evicted)
             }
-            None => (None, 0),
+            None => (None, Evicted::default()),
         }
     }
 
     /// Inserts a freshly compiled bundle under `key` (memory and, when
-    /// enabled, disk). Returns the number of in-memory evictions.
-    pub fn put(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> u64 {
+    /// enabled, disk). Returns the in-memory evictions.
+    pub fn put(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> Evicted {
         if let Some(dir) = &self.disk {
             // Best-effort: a full disk or lost race never fails the compile.
             let _ = self.store_disk(dir, &key, &bundle);
@@ -462,18 +509,28 @@ impl BlockCache {
         self.put_mem(key, bundle)
     }
 
-    fn put_mem(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> u64 {
+    fn put_mem(&self, key: CacheKey, bundle: std::sync::Arc<BlockBundle>) -> Evicted {
+        let size = encode_bundle(&bundle).len();
         let mut mem = self.mem.lock().unwrap();
-        if mem.map.insert(key, bundle).is_none() {
-            mem.order.push_back(key);
+        match mem.map.insert(key, (bundle, size)) {
+            None => {
+                mem.order.push_back(key);
+                mem.total_bytes += size;
+            }
+            Some((_, old_size)) => {
+                // Same key re-inserted (racing workers): replace in place.
+                mem.total_bytes = mem.total_bytes - old_size + size;
+            }
         }
-        let mut evicted = 0;
-        while mem.map.len() > self.capacity {
+        let mut evicted = Evicted::default();
+        while mem.map.len() > self.capacity || mem.total_bytes > self.byte_budget {
             let Some(old) = mem.order.pop_front() else {
                 break;
             };
-            if mem.map.remove(&old).is_some() {
-                evicted += 1;
+            if let Some((_, old_size)) = mem.map.remove(&old) {
+                mem.total_bytes -= old_size;
+                evicted.entries += 1;
+                evicted.bytes += old_size as u64;
             }
         }
         evicted
@@ -1306,11 +1363,35 @@ mod tests {
         let cache = BlockCache::with_capacity(2);
         let bundle = std::sync::Arc::new(sample_bundle());
         let key = |i: u64| CacheKey { lo: i, hi: i };
-        assert_eq!(cache.put(key(1), bundle.clone()), 0);
-        assert_eq!(cache.put(key(2), bundle.clone()), 0);
-        assert_eq!(cache.put(key(3), bundle.clone()), 1); // evicts key 1
+        assert_eq!(cache.put(key(1), bundle.clone()).entries, 0);
+        assert_eq!(cache.put(key(2), bundle.clone()).entries, 0);
+        assert_eq!(cache.put(key(3), bundle.clone()).entries, 1); // evicts key 1
         assert!(cache.get(&key(1)).0.is_none());
         assert!(cache.get(&key(2)).0.is_some());
         assert!(cache.get(&key(3)).0.is_some());
+    }
+
+    #[test]
+    fn memory_cache_enforces_byte_budget() {
+        let bundle = std::sync::Arc::new(sample_bundle());
+        let size = encode_bundle(&bundle).len();
+        // Budget fits exactly two encoded bundles; capacity is not the limiter.
+        let cache = BlockCache::with_budget(16, 2 * size);
+        let key = |i: u64| CacheKey { lo: i, hi: i };
+        assert_eq!(cache.put(key(1), bundle.clone()), Evicted::default());
+        assert_eq!(cache.put(key(2), bundle.clone()), Evicted::default());
+        assert_eq!(cache.resident_bytes(), 2 * size);
+        let ev = cache.put(key(3), bundle.clone()); // evicts key 1 by bytes
+        assert_eq!(
+            ev,
+            Evicted {
+                entries: 1,
+                bytes: size as u64
+            }
+        );
+        assert!(cache.get(&key(1)).0.is_none());
+        assert!(cache.get(&key(2)).0.is_some());
+        assert!(cache.get(&key(3)).0.is_some());
+        assert_eq!(cache.resident_bytes(), 2 * size);
     }
 }

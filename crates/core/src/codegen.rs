@@ -241,7 +241,9 @@ pub fn generate(
     branch_cond: Option<(ValueId, TileId)>,
     fold: bool,
 ) -> Vec<TileBlockCode> {
-    let n_tiles = layout.n_tiles as usize;
+    // Physical tile count: under a faulty mask, `layout.n_tiles` is the
+    // (smaller) live-slot count, but code streams exist per physical tile.
+    let n_tiles = schedule.proc_ops.len();
     let mut out = Vec::with_capacity(n_tiles);
     for tile in 0..n_tiles {
         let cond_here =

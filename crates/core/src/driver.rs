@@ -39,6 +39,27 @@ pub enum CompileError {
         /// The offending tile count.
         n_tiles: u32,
     },
+    /// With a faulty mask, the number of *live* tiles must be a nonzero power
+    /// of two (see [`MachineConfig::mask_to_pow2`] for padding a dead set).
+    LiveTileCountNotPowerOfTwo {
+        /// The offending live-tile count.
+        n_live: u32,
+    },
+    /// The faulty mask names a tile outside the mesh.
+    FaultyMaskOutOfRange {
+        /// The offending tile.
+        tile: u32,
+    },
+    /// The faulty mask splits the live tiles into disconnected islands, so no
+    /// static route can join them.
+    FaultyMeshDisconnected,
+    /// Co-residency link: the two programs target different mesh shapes.
+    CoResidentMeshMismatch,
+    /// Co-residency link: a tile is live in both programs.
+    CoResidentOverlap {
+        /// The doubly-claimed tile.
+        tile: u32,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -46,6 +67,21 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::TileCountNotPowerOfTwo { n_tiles } => {
                 write!(f, "tile count {n_tiles} is not a power of two")
+            }
+            CompileError::LiveTileCountNotPowerOfTwo { n_live } => {
+                write!(f, "live tile count {n_live} is not a nonzero power of two")
+            }
+            CompileError::FaultyMaskOutOfRange { tile } => {
+                write!(f, "faulty mask names tile {tile}, outside the mesh")
+            }
+            CompileError::FaultyMeshDisconnected => {
+                write!(f, "faulty mask disconnects the live mesh")
+            }
+            CompileError::CoResidentMeshMismatch => {
+                write!(f, "co-resident programs target different mesh shapes")
+            }
+            CompileError::CoResidentOverlap { tile } => {
+                write!(f, "tile {tile} is live in both co-resident programs")
             }
         }
     }
@@ -201,6 +237,13 @@ impl CompiledProgram {
         {
             for (addr, value) in words {
                 machine.set_mem_word(TileId::from_raw(tile as u32), addr, value);
+            }
+        }
+        // Under a faulty mask, dynamic references interleave over the live
+        // tiles in slot order rather than the default physical interleave.
+        if !self.layout.identity_homes() {
+            for &t in &self.layout.live {
+                machine.set_tile_dyn_homes(t, self.layout.live.clone());
             }
         }
         machine
@@ -496,8 +539,23 @@ pub fn compile_with_cache(
 ) -> Result<CompiledProgram, CompileError> {
     let compile_start = Instant::now();
     let n_tiles = config.n_tiles();
-    if !n_tiles.is_power_of_two() {
-        return Err(CompileError::TileCountNotPowerOfTwo { n_tiles });
+    if config.faulty.is_empty() {
+        if !n_tiles.is_power_of_two() {
+            return Err(CompileError::TileCountNotPowerOfTwo { n_tiles });
+        }
+    } else {
+        if let Some(t) = config.faulty.iter().find(|t| t.index() as u32 >= n_tiles) {
+            return Err(CompileError::FaultyMaskOutOfRange {
+                tile: t.index() as u32,
+            });
+        }
+        let n_live = config.n_live();
+        if n_live == 0 || !n_live.is_power_of_two() {
+            return Err(CompileError::LiveTileCountNotPowerOfTwo { n_live });
+        }
+        if !config.live_connected() {
+            return Err(CompileError::FaultyMeshDisconnected);
+        }
     }
     let layout = DataLayout::build(program, config);
     let n = n_tiles as usize;
@@ -511,6 +569,7 @@ pub fn compile_with_cache(
     let hits = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
     let evictions = AtomicU64::new(0);
+    let evicted_bytes = AtomicU64::new(0);
 
     type Compiled = (Arc<BlockBundle>, PhaseTimings, Duration, bool);
     let do_block = |block: &Block| -> Compiled {
@@ -519,7 +578,8 @@ pub fn compile_with_cache(
         let block_hash = raw_testkit::hash64(&bytes);
         let key = key_ctx.key(&bytes);
         let (found, evicted) = cache.get(&key);
-        evictions.fetch_add(evicted, Ordering::Relaxed);
+        evictions.fetch_add(evicted.entries, Ordering::Relaxed);
+        evicted_bytes.fetch_add(evicted.bytes, Ordering::Relaxed);
         if let Some(bundle) = found {
             hits.fetch_add(1, Ordering::Relaxed);
             if cache.verify() {
@@ -535,7 +595,9 @@ pub fn compile_with_cache(
         misses.fetch_add(1, Ordering::Relaxed);
         let (bundle, timings) = compile_block(block, &layout, config, options, block_hash);
         let bundle = Arc::new(bundle);
-        evictions.fetch_add(cache.put(key, bundle.clone()), Ordering::Relaxed);
+        let evicted = cache.put(key, bundle.clone());
+        evictions.fetch_add(evicted.entries, Ordering::Relaxed);
+        evicted_bytes.fetch_add(evicted.bytes, Ordering::Relaxed);
         (bundle, timings, start.elapsed(), false)
     };
 
@@ -614,6 +676,18 @@ pub fn compile_with_cache(
     let phase_start = Instant::now();
     let mut tiles = Vec::with_capacity(n);
     for t in 0..n {
+        // The linker refuses to emit anything onto a faulty tile: its
+        // processor and switch streams stay empty (an empty stream halts
+        // immediately), and its provenance tables stay empty in lockstep.
+        if config.is_faulty(TileId::from_raw(t as u32)) {
+            tiles.push(TileCode {
+                proc: Vec::new(),
+                switch: Vec::new(),
+            });
+            prov_map.proc_pc.push(Vec::new());
+            prov_map.switch_pc.push(Vec::new());
+            continue;
+        }
         let mut pa = ProcAsm::new();
         let plabels: Vec<_> = program.blocks.iter().map(|_| pa.new_label()).collect();
         let mut sa = SwitchAsm::new();
@@ -710,6 +784,7 @@ pub fn compile_with_cache(
         hits: hits.load(Ordering::Relaxed),
         misses: misses.load(Ordering::Relaxed),
         evictions: evictions.load(Ordering::Relaxed),
+        evicted_bytes: evicted_bytes.load(Ordering::Relaxed),
     };
     report.wall = compile_start.elapsed();
 
@@ -720,6 +795,124 @@ pub fn compile_with_cache(
         report,
         provenance: prov_map,
     })
+}
+
+/// Two kernels compiled onto **disjoint live partitions** of one mesh, linked
+/// into a single machine image. Each input must have been compiled with a
+/// faulty mask covering (at least) the other's live tiles; the link verifies
+/// disjointness and merges per-tile streams, so each tile carries code from
+/// exactly one program (or none).
+#[derive(Clone, Debug)]
+pub struct CoResident {
+    /// Merged per-tile instruction streams.
+    pub machine_program: MachineProgram,
+    /// Mesh configuration for the merged run: faulty set is the intersection
+    /// of the inputs' masks (tiles live in *either* program must run).
+    pub config: MachineConfig,
+    /// The linked programs, in link order.
+    pub parts: [CompiledProgram; 2],
+}
+
+/// Links two compiled programs with disjoint live tile sets into one mesh.
+///
+/// # Errors
+///
+/// [`CompileError::CoResidentMeshMismatch`] if the mesh shapes differ,
+/// [`CompileError::CoResidentOverlap`] if any tile is live in both programs.
+pub fn link_coresident(
+    a: &CompiledProgram,
+    b: &CompiledProgram,
+) -> Result<CoResident, CompileError> {
+    if a.config.rows != b.config.rows || a.config.cols != b.config.cols {
+        return Err(CompileError::CoResidentMeshMismatch);
+    }
+    let n = a.config.n_tiles() as usize;
+    let owner_a: Vec<bool> = (0..n)
+        .map(|t| !a.config.is_faulty(TileId::from_raw(t as u32)))
+        .collect();
+    let owner_b: Vec<bool> = (0..n)
+        .map(|t| !b.config.is_faulty(TileId::from_raw(t as u32)))
+        .collect();
+    if let Some(t) = (0..n).find(|&t| owner_a[t] && owner_b[t]) {
+        return Err(CompileError::CoResidentOverlap { tile: t as u32 });
+    }
+    let tiles: Vec<TileCode> = (0..n)
+        .map(|t| {
+            if owner_a[t] {
+                a.machine_program.tiles[t].clone()
+            } else if owner_b[t] {
+                b.machine_program.tiles[t].clone()
+            } else {
+                TileCode {
+                    proc: Vec::new(),
+                    switch: Vec::new(),
+                }
+            }
+        })
+        .collect();
+    let mut faulty = raw_machine::TileMask::EMPTY;
+    for t in 0..n as u32 {
+        if !owner_a[t as usize] && !owner_b[t as usize] {
+            faulty.insert(TileId::from_raw(t));
+        }
+    }
+    let config = a.config.clone().with_faulty(faulty);
+    Ok(CoResident {
+        machine_program: MachineProgram { tiles },
+        config,
+        parts: [a.clone(), b.clone()],
+    })
+}
+
+impl CoResident {
+    /// The physical tiles owned by part `i` (0 or 1).
+    pub fn tiles_of(&self, i: usize) -> Vec<TileId> {
+        self.parts[i].layout.live.clone()
+    }
+
+    /// Creates a machine loaded with both programs' initial memory images.
+    pub fn instantiate(&self, progs: [&Program; 2]) -> Machine {
+        self.instantiate_with_sink(progs, raw_machine::trace::NullSink)
+    }
+
+    /// Like [`instantiate`](Self::instantiate) with an event sink attached.
+    pub fn instantiate_with_sink<S: EventSink>(&self, progs: [&Program; 2], sink: S) -> Machine<S> {
+        let mut machine = Machine::with_sink(self.config.clone(), &self.machine_program, sink);
+        for (part, prog) in self.parts.iter().zip(progs) {
+            for (tile, words) in initial_memory_images(prog, &part.layout)
+                .into_iter()
+                .enumerate()
+            {
+                for (addr, value) in words {
+                    machine.set_mem_word(TileId::from_raw(tile as u32), addr, value);
+                }
+            }
+            // Each program's dynamic references stay inside its own
+            // partition: its issue tiles interleave over its own live set.
+            for &t in &part.layout.live {
+                machine.set_tile_dyn_homes(t, part.layout.live.clone());
+            }
+        }
+        machine
+    }
+
+    /// Runs both programs to completion on one mesh and reads back each
+    /// program's final state separately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors ([`SimError`]).
+    pub fn run(&self, progs: [&Program; 2]) -> Result<([ExecResult; 2], RunReport), SimError> {
+        let mut machine = self.instantiate(progs);
+        let report = machine.run()?;
+        Ok((
+            [
+                self.parts[0].extract_result(progs[0], &machine),
+                self.parts[1].extract_result(progs[1], &machine),
+            ],
+            report,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -33,10 +33,17 @@ pub enum ArrayClass {
 }
 
 /// The complete data layout for one (program, machine) pair.
+///
+/// Layout operates in **slot space**: `n_tiles` is the number of *live* tiles
+/// (a power of two), and every `k % n_tiles` / `k >> tile_shift` computation
+/// is over slots. `live` maps each slot to the physical tile that hosts it;
+/// with no faulty mask it is the identity and slot == physical tile.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DataLayout {
-    /// Number of tiles.
+    /// Number of *live* tiles — the size of slot space.
     pub n_tiles: u32,
+    /// Physical tile hosting each slot, ascending; `live.len() == n_tiles`.
+    pub live: Vec<TileId>,
     /// Home tile per variable.
     pub var_home: Vec<TileId>,
     /// Local word address of each variable's slot (on its home tile).
@@ -53,14 +60,15 @@ impl DataLayout {
     /// Computes the layout: round-robin variable homes, sequential array
     /// bases, and the global static/dynamic array classification.
     pub fn build(program: &Program, config: &MachineConfig) -> Self {
-        let n = config.n_tiles();
+        let live = config.live_tiles();
+        let n = live.len() as u32;
         assert!(
             n.is_power_of_two(),
-            "low-order interleaving needs 2^k tiles"
+            "low-order interleaving needs 2^k live tiles"
         );
 
         let var_home = (0..program.vars.len())
-            .map(|i| TileId::from_raw(i as u32 % n))
+            .map(|i| live[i % n as usize])
             .collect();
         let var_addr = (0..program.vars.len()).map(|i| i as u32).collect();
 
@@ -92,7 +100,7 @@ impl DataLayout {
             .iter()
             .map(|&d| {
                 if d {
-                    let tile = TileId::from_raw(dyn_count % n);
+                    let tile = live[(dyn_count % n) as usize];
                     dyn_count += 1;
                     ArrayClass::Dynamic { issue_tile: tile }
                 } else {
@@ -103,6 +111,7 @@ impl DataLayout {
 
         DataLayout {
             n_tiles: n,
+            live,
             var_home,
             var_addr,
             array_base,
@@ -126,9 +135,16 @@ impl DataLayout {
         self.array_base[a.index()]
     }
 
-    /// Home tile of array element `k` under low-order interleaving.
+    /// Home tile of array element `k` under low-order interleaving over the
+    /// live tiles.
     pub fn element_home(&self, k: u32) -> TileId {
-        TileId::from_raw(k % self.n_tiles)
+        self.live[(k % self.n_tiles) as usize]
+    }
+
+    /// True when slot space is the identity map onto physical tiles (no
+    /// faulty mask in effect).
+    pub fn identity_homes(&self) -> bool {
+        self.live.iter().enumerate().all(|(i, t)| t.index() == i)
     }
 
     /// Local word address of array element `k` on its home tile.
@@ -150,7 +166,9 @@ impl DataLayout {
 /// Builds the per-tile initial memory images (variable initials on home tiles,
 /// interleaved array initials) for loading into a [`raw_machine::Machine`].
 pub fn initial_memory_images(program: &Program, layout: &DataLayout) -> Vec<Vec<(u32, u32)>> {
-    let n = layout.n_tiles as usize;
+    // Indexed by *physical* tile: under a faulty mask, live tiles can have
+    // indices well past the slot count.
+    let n = layout.live.iter().map(|t| t.index() + 1).max().unwrap_or(1);
     let mut images: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
     for (i, var) in program.vars.iter().enumerate() {
         let v = VarId::from_raw(i as u32);
@@ -235,6 +253,38 @@ mod tests {
         assert!(images[1].contains(&(3, 3)));
         // A[4] = 4 lives on tile 0 at base 2 + 2 = 4.
         assert!(images[0].contains(&(4, 4)));
+    }
+
+    #[test]
+    fn faulty_mask_interleaves_over_live_tiles_only() {
+        let p = program_with(MemHome::Static(0), MemHome::Static(0));
+        let base = MachineConfig::grid(2, 4);
+        let mask = base.mask_to_pow2(&[TileId::from_raw(2)]);
+        let config = base.with_faulty(mask);
+        let layout = DataLayout::build(&p, &config);
+        assert_eq!(layout.n_tiles, 4);
+        assert_eq!(
+            layout.live,
+            vec![
+                TileId::from_raw(0),
+                TileId::from_raw(1),
+                TileId::from_raw(3),
+                TileId::from_raw(4)
+            ]
+        );
+        assert!(!layout.identity_homes());
+        // Slot 2 lives on physical tile 3.
+        assert_eq!(layout.element_home(2), TileId::from_raw(3));
+        assert_eq!(layout.element_home(6), TileId::from_raw(3));
+        // No home lands on a masked tile.
+        for k in 0..16 {
+            assert!(!config.is_faulty(layout.element_home(k)));
+        }
+        // Memory images are sized by physical tile index, and masked tiles
+        // receive no initial data.
+        let images = initial_memory_images(&p, &layout);
+        assert_eq!(images.len(), 5);
+        assert!(images[2].is_empty());
     }
 
     #[test]

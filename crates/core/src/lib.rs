@@ -66,10 +66,10 @@ pub mod regalloc;
 pub mod schedule;
 pub mod taskgraph;
 
-pub use blockcache::{BlockBundle, BlockCache, CacheKey, CacheStats, KeyContext};
+pub use blockcache::{BlockBundle, BlockCache, CacheKey, CacheStats, Evicted, KeyContext};
 pub use driver::{
-    compile, compile_baseline, compile_block, compile_with_cache, BlockReport, CompileError,
-    CompileReport, CompiledProgram, PhaseTimings,
+    compile, compile_baseline, compile_block, compile_with_cache, link_coresident, BlockReport,
+    CoResident, CompileError, CompileReport, CompiledProgram, PhaseTimings,
 };
 pub use layout::{ArrayClass, DataLayout};
 pub use options::{CompilerOptions, PlacementAlgorithm, PriorityScheme};

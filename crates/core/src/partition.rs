@@ -129,7 +129,7 @@ pub fn partition_timed(
         }
     };
     let n_clusters = clusters.count;
-    let bins = merge(graph, &clusters, n_tiles);
+    let bins = merge(graph, &clusters, n_tiles, config);
     let place_start = std::time::Instant::now();
     let (tile_of_bin, placement) = place(graph, &clusters, &bins, config, options);
     let place_time = place_start.elapsed();
@@ -277,11 +277,18 @@ struct Bins {
 }
 
 /// Load-balance merging into `n_tiles` partitions (paper §4.1 "merging").
-fn merge(graph: &TaskGraph, clusters: &Clustering, n_tiles: usize) -> Bins {
+///
+/// Bins on faulty tiles accept no clusters: pins never name a faulty tile
+/// (the data layout interleaves over live tiles only), and unpinned clusters
+/// choose the least-loaded *live* bin, so masked bins stay empty end to end.
+fn merge(graph: &TaskGraph, clusters: &Clustering, n_tiles: usize, config: &MachineConfig) -> Bins {
     let _ = graph;
     let mut of_cluster = vec![usize::MAX; clusters.count];
     let mut load = vec![0u64; n_tiles];
     let mut locked: Vec<Option<TileId>> = vec![None; n_tiles];
+    let live_bins: Vec<usize> = (0..n_tiles)
+        .filter(|&b| !config.is_faulty(TileId::from_raw(b as u32)))
+        .collect();
 
     // Pinned clusters claim their tile's bin (bin index = tile index).
     for ((slot, &pin), &size) in of_cluster
@@ -290,18 +297,23 @@ fn merge(graph: &TaskGraph, clusters: &Clustering, n_tiles: usize) -> Bins {
         .zip(&clusters.sizes)
     {
         if let Some(t) = pin {
+            debug_assert!(!config.is_faulty(t), "pin on faulty tile {t:?}");
             *slot = t.index();
             load[t.index()] += size;
             locked[t.index()] = Some(t);
         }
     }
-    // Unpinned clusters: decreasing size into the least-loaded bin.
+    // Unpinned clusters: decreasing size into the least-loaded live bin.
     let mut order: Vec<usize> = (0..clusters.count)
         .filter(|&c| clusters.pins[c].is_none())
         .collect();
     order.sort_by_key(|&c| std::cmp::Reverse(clusters.sizes[c]));
     for c in order {
-        let bin = (0..n_tiles).min_by_key(|&b| load[b]).unwrap();
+        let bin = live_bins
+            .iter()
+            .copied()
+            .min_by_key(|&b| load[b])
+            .expect("at least one live tile");
         of_cluster[c] = bin;
         load[bin] += clusters.sizes[c];
     }
@@ -347,7 +359,12 @@ fn place(
             }
         }
     }
-    let swappable: Vec<usize> = (0..n_tiles).filter(|&b| bins.locked[b].is_none()).collect();
+    // Faulty bins are empty but must also stay *out* of the swap set: a
+    // zero-delta annealing move could otherwise rotate live code onto a dead
+    // tile.
+    let swappable: Vec<usize> = (0..n_tiles)
+        .filter(|&b| bins.locked[b].is_none() && !config.is_faulty(TileId::from_raw(b as u32)))
+        .collect();
     optimize_placement(&edges, &swappable, n_tiles, config, algorithm)
 }
 
@@ -884,6 +901,50 @@ mod tests {
                 let after = full_cost(&edges, &tile_of_bin, &config) as i64;
                 tile_of_bin.swap(a, b);
                 assert_eq!(d, after - before, "swap ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_tiles_receive_no_nodes() {
+        use crate::options::PlacementAlgorithm;
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", Ty::I32, &[16]);
+        for r in 0..4u32 {
+            let i = b.const_i32(r as i32);
+            let v = b.load(a, i, MemHome::Static(r));
+            let w = b.add(v, v);
+            b.store(a, i, w, MemHome::Static(r));
+        }
+        for _ in 0..6 {
+            let mut v = b.const_f32(1.0);
+            for _ in 0..8 {
+                v = b.mul_f(v, v);
+            }
+        }
+        b.halt();
+        let p = b.finish().unwrap();
+        let base = MachineConfig::grid(2, 4);
+        let mask = base.mask_to_pow2(&[TileId::from_raw(1), TileId::from_raw(4)]);
+        let config = base.with_faulty(mask);
+        let layout = DataLayout::build(&p, &config);
+        let g = TaskGraph::build(p.block(p.entry), &layout, &config);
+        for algorithm in [
+            PlacementAlgorithm::GreedySwap,
+            PlacementAlgorithm::Annealing { seed: 5 },
+        ] {
+            let options = CompilerOptions {
+                placement: algorithm,
+                ..Default::default()
+            };
+            let part = partition(&g, &config, &options);
+            for (n, &t) in part.assignment.iter().enumerate() {
+                assert!(!config.is_faulty(t), "node {n} placed on faulty tile {t:?}");
+            }
+            for (n, pin) in g.pins.iter().enumerate() {
+                if let Some(pin) = pin {
+                    assert_eq!(part.assignment[n], *pin);
+                }
             }
         }
     }

@@ -454,8 +454,9 @@ fn descendants(succs: &[Vec<usize>], topo: &[usize]) -> Vec<u64> {
 /// [`SSrc::Proc`]. On a one-tile machine this is never needed.
 pub fn broadcast_routes(config: &MachineConfig, producer: TileId) -> Vec<Vec<(SSrc, SDst)>> {
     let n = config.n_tiles() as usize;
-    let dsts: Vec<TileId> = (0..n as u32)
-        .map(TileId::from_raw)
+    let dsts: Vec<TileId> = config
+        .live_tiles()
+        .into_iter()
         .filter(|&t| t != producer)
         .collect();
     let tree = MulticastTree::build(config, producer, &dsts);
@@ -506,8 +507,59 @@ impl TreeNode {
     }
 }
 
+/// Deterministic BFS spanning tree over the *live* tiles, rooted at `src`:
+/// `parents[t] = (parent, dir from parent to t)`. Paths extracted from one
+/// shared tree are prefix-consistent, which the multicast-tree merge relies
+/// on. Only used when the machine has faulty tiles — the fault-free case
+/// keeps the exact legacy dimension-ordered routes.
+fn live_bfs_parents(config: &MachineConfig, src: TileId) -> Vec<Option<(TileId, Dir)>> {
+    let n = config.n_tiles() as usize;
+    let mut parents: Vec<Option<(TileId, Dir)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(t) = queue.pop_front() {
+        for dir in Dir::ALL {
+            let Some(nb) = config.neighbor(t, dir) else {
+                continue;
+            };
+            if seen[nb.index()] || config.is_faulty(nb) {
+                continue;
+            }
+            seen[nb.index()] = true;
+            parents[nb.index()] = Some((t, dir));
+            queue.push_back(nb);
+        }
+    }
+    parents
+}
+
 impl MulticastTree {
     fn build(config: &MachineConfig, src: TileId, dsts: &[TileId]) -> MulticastTree {
+        // With faulty tiles, dimension-ordered routes may cross a dead
+        // switch; route along a shared BFS tree of the live mesh instead.
+        let bfs = if config.faulty.is_empty() {
+            None
+        } else {
+            Some(live_bfs_parents(config, src))
+        };
+        let route_to = |dst: TileId| -> Vec<Dir> {
+            match &bfs {
+                None => config.xy_route(src, dst),
+                Some(parents) => {
+                    let mut path = Vec::new();
+                    let mut cur = dst;
+                    while cur != src {
+                        let (p, d) = parents[cur.index()]
+                            .expect("faulty mask must leave the live mesh connected");
+                        path.push(d);
+                        cur = p;
+                    }
+                    path.reverse();
+                    path
+                }
+            }
+        };
         let mut index: HashMap<u32, usize> = HashMap::new();
         let mut nodes: Vec<TreeNode> = vec![TreeNode {
             tile: src,
@@ -519,7 +571,8 @@ impl MulticastTree {
         index.insert(src.index() as u32, 0);
         for &dst in dsts {
             debug_assert_ne!(dst, src, "local consumers need no communication");
-            let route = config.xy_route(src, dst);
+            debug_assert!(!config.is_faulty(dst), "comm path to faulty tile");
+            let route = route_to(dst);
             let mut cur = src;
             let mut cur_idx = 0usize;
             for (k, &dir) in route.iter().enumerate() {
@@ -657,6 +710,42 @@ mod tests {
         assert!(node3.deliver);
         assert!(node3.children.is_empty());
         assert_eq!(node3.depth, 3);
+    }
+
+    #[test]
+    fn masked_multicast_tree_avoids_faulty_switches() {
+        use raw_machine::TileMask;
+        // 1x4 row with tile 1 dead: the route 0→2 must leave the mesh... it
+        // cannot on a 1-D row, so use a 2x4 grid where BFS can detour.
+        let base = MachineConfig::grid(2, 4);
+        let config = base.with_faulty(TileMask::of(&[TileId::from_raw(1)]));
+        assert!(config.live_connected());
+        let tree = MulticastTree::build(
+            &config,
+            TileId::from_raw(0),
+            &[TileId::from_raw(2), TileId::from_raw(3)],
+        );
+        for node in &tree.nodes {
+            assert!(
+                !config.is_faulty(node.tile),
+                "tree visits faulty tile {:?}",
+                node.tile
+            );
+        }
+        for want in [2u32, 3] {
+            let node = tree
+                .nodes
+                .iter()
+                .find(|n| n.tile.index() == want as usize)
+                .unwrap();
+            assert!(node.deliver);
+        }
+        // Broadcast skips faulty tiles entirely: no route pairs on tile 1.
+        let routes = broadcast_routes(&config, TileId::from_raw(0));
+        assert!(routes[1].is_empty());
+        assert!(routes.iter().enumerate().all(|(t, pairs)| {
+            config.is_faulty(TileId::from_raw(t as u32)) == pairs.is_empty()
+        }));
     }
 
     #[test]

@@ -247,7 +247,9 @@ fn pin_of(inst: &Inst, layout: &DataLayout) -> Option<TileId> {
             match layout.class(array) {
                 ArrayClass::Dynamic { issue_tile } => Some(issue_tile),
                 ArrayClass::Static => match home {
-                    MemHome::Static(r) => Some(TileId::from_raw(r % layout.n_tiles)),
+                    // The residue is a slot index; pin to the physical tile
+                    // hosting that slot (identity when no tiles are masked).
+                    MemHome::Static(r) => Some(layout.element_home(r)),
                     MemHome::Dynamic => unreachable!("static array with dynamic ref"),
                 },
             }

@@ -1,6 +1,70 @@
-//! Machine configuration: mesh shape, register counts, and latency model.
+//! Machine configuration: mesh shape, register counts, latency model, and
+//! the faulty-tile map.
 
 use crate::isa::{AluOp, Dir, TileId};
+
+/// A set of faulty (dead) tiles, as a bitset over tile indices.
+///
+/// A masked tile's processor, switch, and local memory are dead: the compiler
+/// must not place work or data there and the linker emits empty instruction
+/// streams for it. The tile's *dynamic-network router* is modelled as an
+/// autonomous unit that keeps forwarding wormhole traffic — only the tile's
+/// own endpoints are gone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TileMask(u64);
+
+impl TileMask {
+    /// No faulty tiles.
+    pub const EMPTY: TileMask = TileMask(0);
+
+    /// Builds a mask from a list of faulty tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a tile index ≥ 64 (the mask covers the paper's mesh sizes).
+    pub fn of(tiles: &[TileId]) -> TileMask {
+        let mut m = TileMask::EMPTY;
+        for &t in tiles {
+            m.insert(t);
+        }
+        m
+    }
+
+    /// Marks `t` faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a tile index ≥ 64.
+    pub fn insert(&mut self, t: TileId) {
+        assert!(t.0 < 64, "TileMask covers tile indices 0..64");
+        self.0 |= 1 << t.0;
+    }
+
+    /// True if `t` is faulty.
+    pub fn contains(&self, t: TileId) -> bool {
+        t.0 < 64 && self.0 & (1 << t.0) != 0
+    }
+
+    /// True if no tile is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of faulty tiles.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The raw bitset (stable fingerprint for cache keys).
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// The faulty tiles, in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = TileId> + '_ {
+        (0..64).filter(|&i| self.0 & (1 << i) != 0).map(TileId)
+    }
+}
 
 /// Which operation latencies the processors use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,6 +111,8 @@ pub struct MachineConfig {
     pub dyn_fifo: usize,
     /// Simulation cycle budget before aborting.
     pub step_limit: u64,
+    /// Faulty tiles: no code, data, or static routes may touch them.
+    pub faulty: TileMask,
 }
 
 impl Default for MachineConfig {
@@ -70,6 +136,7 @@ impl MachineConfig {
             port_capacity: 4,
             dyn_fifo: 4,
             step_limit: 4_000_000_000,
+            faulty: TileMask::EMPTY,
         }
     }
 
@@ -100,9 +167,89 @@ impl MachineConfig {
         self
     }
 
-    /// Number of tiles.
+    /// Marks the given tiles faulty (replacing any previous mask).
+    pub fn with_faulty(mut self, faulty: TileMask) -> Self {
+        self.faulty = faulty;
+        self
+    }
+
+    /// Number of tiles (live or faulty).
     pub fn n_tiles(&self) -> u32 {
         self.rows * self.cols
+    }
+
+    /// True if `t` is masked faulty.
+    pub fn is_faulty(&self, t: TileId) -> bool {
+        self.faulty.contains(t)
+    }
+
+    /// Number of live (non-faulty) tiles.
+    pub fn n_live(&self) -> u32 {
+        self.n_tiles() - self.faulty.len()
+    }
+
+    /// The live tiles, in ascending index order. With an empty mask this is
+    /// simply `0..n_tiles()`.
+    pub fn live_tiles(&self) -> Vec<TileId> {
+        (0..self.n_tiles())
+            .map(TileId)
+            .filter(|&t| !self.is_faulty(t))
+            .collect()
+    }
+
+    /// True if every live tile can reach every other through live tiles only
+    /// (faulty switches cannot carry static routes). Vacuously true with one
+    /// or zero live tiles.
+    pub fn live_connected(&self) -> bool {
+        let live = self.live_tiles();
+        let Some(&start) = live.first() else {
+            return true;
+        };
+        let n = self.n_tiles() as usize;
+        let mut seen = vec![false; n];
+        seen[start.index()] = true;
+        let mut queue = vec![start];
+        while let Some(t) = queue.pop() {
+            for dir in Dir::ALL {
+                if let Some(nb) = self.neighbor(t, dir) {
+                    if !self.is_faulty(nb) && !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        queue.push(nb);
+                    }
+                }
+            }
+        }
+        live.iter().all(|t| seen[t.index()])
+    }
+
+    /// Builds a faulty mask containing `dead` plus, if needed, the
+    /// highest-index healthy tiles required to bring the live count down to a
+    /// power of two (low-order interleaving needs one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every tile is dead.
+    pub fn mask_to_pow2(&self, dead: &[TileId]) -> TileMask {
+        let mut mask = TileMask::of(dead);
+        let live = self.n_tiles() - mask.len();
+        assert!(live > 0, "mask kills every tile");
+        let target = if live.is_power_of_two() {
+            live
+        } else {
+            1 << (31 - live.leading_zeros()) // largest power of two below live
+        };
+        let mut excess = live - target;
+        for i in (0..self.n_tiles()).rev() {
+            if excess == 0 {
+                break;
+            }
+            let t = TileId(i);
+            if !mask.contains(t) {
+                mask.insert(t);
+                excess -= 1;
+            }
+        }
+        mask
     }
 
     /// `(row, col)` of a tile.
@@ -262,6 +409,45 @@ mod tests {
                 assert_eq!(c.split_gaddr(g), (TileId(home), local));
             }
         }
+    }
+
+    #[test]
+    fn tile_mask_basics() {
+        let mut m = TileMask::of(&[TileId(1), TileId(5)]);
+        assert!(m.contains(TileId(1)) && m.contains(TileId(5)));
+        assert!(!m.contains(TileId(0)));
+        assert_eq!(m.len(), 2);
+        m.insert(TileId(1)); // idempotent
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![TileId(1), TileId(5)]);
+        assert!(TileMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn live_tiles_and_connectivity() {
+        let c = MachineConfig::grid(2, 2).with_faulty(TileMask::of(&[TileId(1), TileId(2)]));
+        assert_eq!(c.n_live(), 2);
+        assert_eq!(c.live_tiles(), vec![TileId(0), TileId(3)]);
+        // Tiles 0 and 3 are diagonal: no live path between them.
+        assert!(!c.live_connected());
+        // A 1x4 with the interior alive stays connected.
+        let c = MachineConfig::grid(1, 4).with_faulty(TileMask::of(&[TileId(0), TileId(3)]));
+        assert!(c.live_connected());
+        assert!(MachineConfig::grid(4, 4).live_connected());
+    }
+
+    #[test]
+    fn mask_to_pow2_pads_with_healthy_tiles() {
+        let c = MachineConfig::grid(2, 4);
+        // One dead tile leaves 7 live; the mask pads down to 4 using the
+        // highest-index healthy tiles.
+        let m = c.mask_to_pow2(&[TileId(2)]);
+        assert_eq!(c.clone().with_faulty(m).n_live(), 4);
+        assert!(m.contains(TileId(2)));
+        assert!(m.contains(TileId(7)) && m.contains(TileId(6)) && m.contains(TileId(5)));
+        // Already a power of two: nothing added.
+        let m = c.mask_to_pow2(&[TileId(0), TileId(1), TileId(2), TileId(3)]);
+        assert_eq!(m.len(), 4);
     }
 
     #[test]

@@ -389,6 +389,15 @@ impl<S: EventSink> Machine<S> {
         mem[base as usize..base as usize + words.len()].copy_from_slice(words);
     }
 
+    /// Overrides a tile's dynamic-reference home map: global addresses issued
+    /// by `tile` interleave over `homes` (a power-of-two set of physical
+    /// tiles) instead of the default [`MachineConfig::split_gaddr`]. The
+    /// driver installs this when compiling around faulty tiles or linking
+    /// co-resident programs.
+    pub fn set_tile_dyn_homes(&mut self, tile: TileId, homes: Vec<TileId>) {
+        self.procs[tile.index()].set_dyn_homes(homes);
+    }
+
     /// Reads a processor register (diagnostics).
     pub fn proc_reg(&self, tile: TileId, reg: u16) -> Word {
         self.procs[tile.index()].reg(reg)

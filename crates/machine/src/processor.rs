@@ -9,7 +9,7 @@
 use crate::channel::Channel;
 use crate::config::MachineConfig;
 use crate::dynnet::{DynEndpoint, DynMsg, MsgKind};
-use crate::isa::{Dst, PInst, Src, Word};
+use crate::isa::{Dst, PInst, Src, TileId, Word};
 use std::collections::VecDeque;
 
 /// Why a processor failed to issue this cycle.
@@ -52,6 +52,11 @@ pub struct Processor {
     regs: Vec<Word>,
     ready: Vec<u64>,
     dyn_state: DynState,
+    /// Slot→physical home map for dynamic references. Empty means identity:
+    /// fall back to [`MachineConfig::split_gaddr`]. Non-empty (always a power
+    /// of two, set by the driver under a faulty-tile mask or co-residency)
+    /// means global addresses interleave over these tiles instead.
+    dyn_homes: Vec<TileId>,
     /// Port writes awaiting their producer latency: `(visible_at, word)`.
     out_pending: VecDeque<(u64, Word)>,
     /// When the last [`step`](Self::step) stalled on [`StallCause::RegNotReady`]
@@ -75,6 +80,7 @@ impl Processor {
             regs: vec![0; gprs as usize],
             ready: vec![0; gprs as usize],
             dyn_state: DynState::Idle,
+            dyn_homes: Vec::new(),
             out_pending: VecDeque::new(),
             wake_hint: None,
             last_latency: 1,
@@ -108,6 +114,30 @@ impl Processor {
     /// True if no delayed port write is in flight.
     pub fn out_pending_empty(&self) -> bool {
         self.out_pending.is_empty()
+    }
+
+    /// Overrides the global-address→home mapping for dynamic references.
+    /// `homes.len()` must be a power of two; pass an empty vector to restore
+    /// the default [`MachineConfig::split_gaddr`] interleave.
+    pub fn set_dyn_homes(&mut self, homes: Vec<TileId>) {
+        assert!(
+            homes.is_empty() || homes.len().is_power_of_two(),
+            "dyn_homes length must be a power of two"
+        );
+        self.dyn_homes = homes;
+    }
+
+    /// Splits a global address into `(home tile index, local word address)`,
+    /// honouring the per-processor home map when one is installed.
+    fn split_dyn(&self, config: &MachineConfig, g: u32) -> (u32, u32) {
+        if self.dyn_homes.is_empty() {
+            let (home, local) = config.split_gaddr(g);
+            (home.0, local)
+        } else {
+            let n = self.dyn_homes.len() as u32;
+            let slot = (g & (n - 1)) as usize;
+            (self.dyn_homes[slot].0, g >> n.trailing_zeros())
+        }
     }
 
     /// If the last step stalled at issue on a not-yet-ready register, the cycle
@@ -323,11 +353,11 @@ impl Processor {
                     return ProcOutcome::Stalled(StallCause::Dynamic);
                 }
                 let g = self.read_src(gaddr, port_in);
-                let (home, local) = config.split_gaddr(g);
+                let (home, local) = self.split_dyn(config, g);
                 dyn_ep.inject(DynMsg {
                     kind: MsgKind::LoadReq,
                     src: self.tile,
-                    dest: home.0,
+                    dest: home,
                     payload: vec![local],
                 });
                 self.dyn_state = DynState::WaitLoad { dst };
@@ -339,11 +369,11 @@ impl Processor {
                 }
                 let g = self.read_src(gaddr, port_in);
                 let v = self.read_src(value, port_in);
-                let (home, local) = config.split_gaddr(g);
+                let (home, local) = self.split_dyn(config, g);
                 dyn_ep.inject(DynMsg {
                     kind: MsgKind::StoreReq,
                     src: self.tile,
-                    dest: home.0,
+                    dest: home,
                     payload: vec![local, v],
                 });
                 self.dyn_state = DynState::WaitStoreAck;

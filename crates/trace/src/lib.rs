@@ -49,11 +49,12 @@ pub mod chrome;
 pub mod json;
 pub mod report;
 
+use raw_ir::interp::ExecResult;
 use raw_ir::Program;
 use raw_machine::isa::{SDst, SSrc};
 use raw_machine::trace::{ChannelInfo, EventSink, StallReason, Unit};
-use raw_machine::{Machine, MachineConfig, RunReport, SimError};
-use rawcc::CompiledProgram;
+use raw_machine::{Machine, MachineConfig, RunReport, SimError, TileId};
+use rawcc::{CoResident, CompiledProgram};
 
 /// One recorded simulator event (see [`EventSink`] for the semantics).
 #[derive(Clone, Debug, PartialEq)]
@@ -284,6 +285,19 @@ impl TileAccount {
     pub fn switch_stall_total(&self) -> u64 {
         self.switch_stalls.iter().sum()
     }
+
+    /// Accumulates `other` into `self` (used to aggregate a tile group).
+    pub fn absorb(&mut self, other: &TileAccount) {
+        self.issues += other.issues;
+        self.routes += other.routes;
+        self.controls += other.controls;
+        for i in 0..self.proc_stalls.len() {
+            self.proc_stalls[i] += other.proc_stalls[i];
+            self.switch_stalls[i] += other.switch_stalls[i];
+        }
+        self.proc_window += other.proc_window;
+        self.switch_window += other.switch_window;
+    }
 }
 
 impl Trace {
@@ -421,6 +435,24 @@ impl Trace {
             .filter(|e| matches!(e, Event::DynActive { .. }))
             .count() as u64
     }
+
+    /// Aggregates per-tile accounting over each tile group (e.g. the two
+    /// partitions of a co-resident run), attributing issues, routes, and
+    /// stalls to the program that owns the tile. Tiles outside every group
+    /// (faulty tiles of a merged mesh) are ignored.
+    pub fn group_accounts(&self, groups: &[Vec<TileId>]) -> Vec<TileAccount> {
+        let per_tile = self.accounts();
+        groups
+            .iter()
+            .map(|tiles| {
+                let mut sum = TileAccount::default();
+                for t in tiles {
+                    sum.absorb(&per_tile[t.index()]);
+                }
+                sum
+            })
+            .collect()
+    }
 }
 
 /// A completed traced run: the frozen trace plus the run report.
@@ -443,6 +475,47 @@ pub fn run_traced(compiled: &CompiledProgram, program: &Program) -> Result<Trace
     let report = machine.run()?;
     let trace = Trace::capture(machine, &report);
     Ok(TraceRun { trace, report })
+}
+
+/// A traced co-resident run: the shared-mesh trace, each program's final
+/// state, and per-program accounting aggregated over the tiles it owns.
+#[derive(Debug)]
+pub struct CoTraceRun {
+    /// The frozen trace of the merged mesh.
+    pub trace: Trace,
+    /// The simulator's run report (shared cycle clock).
+    pub report: RunReport,
+    /// Each program's final state, in link order.
+    pub results: [ExecResult; 2],
+    /// Accounting summed over each program's own tiles.
+    pub per_program: [TileAccount; 2],
+}
+
+/// Runs a co-resident pair with a recording sink attached and attributes the
+/// trace to each program by tile ownership.
+///
+/// # Errors
+///
+/// Propagates simulation errors ([`SimError`]).
+pub fn run_coresident_traced(
+    co: &CoResident,
+    progs: [&Program; 2],
+) -> Result<CoTraceRun, SimError> {
+    let mut machine = co.instantiate_with_sink(progs, RecordingSink::new());
+    let report = machine.run()?;
+    let results = [
+        co.parts[0].extract_result(progs[0], &machine),
+        co.parts[1].extract_result(progs[1], &machine),
+    ];
+    let trace = Trace::capture(machine, &report);
+    let groups = trace.group_accounts(&[co.tiles_of(0), co.tiles_of(1)]);
+    let per_program = [groups[0], groups[1]];
+    Ok(CoTraceRun {
+        trace,
+        report,
+        results,
+        per_program,
+    })
 }
 
 #[cfg(test)]

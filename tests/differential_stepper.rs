@@ -87,6 +87,44 @@ fn chaos_sweep_matches_reference() {
 }
 
 #[test]
+fn near_deadlock_workload_survives_faulty_mask_and_chaos() {
+    // Deadlock soundness under a faulty map: the scatter kernel's colliding
+    // data-dependent read-modify-writes keep many requests and replies in
+    // flight at once — the regime closest to exhausting wormhole buffering.
+    // Compiled around a dead tile, every route detours through the BFS tree
+    // over live tiles; the run must still terminate and stay bit-identical
+    // between steppers under an aggressive chaos sweep.
+    let bench = raw_repro::benchmarks::scatter(32, 4);
+    let base = MachineConfig::grid(2, 4);
+    let mask = base.mask_to_pow2(&[TileId::from_raw(3)]);
+    let config = base.with_faulty(mask);
+    let program = bench.program(config.n_live()).unwrap();
+    let compiled = compile(&program, &config, &CompilerOptions::default()).unwrap();
+    // Masked tiles carry no instructions, so the live partition does all work.
+    for (t, code) in compiled.machine_program.tiles.iter().enumerate() {
+        if config.is_faulty(TileId::from_raw(t as u32)) {
+            assert!(code.proc.is_empty() && code.switch.is_empty(), "tile {t}");
+        }
+    }
+    assert_equivalent(&compiled, &program, None, "scatter faulty clean");
+    let mut seed_rng = raw_testkit::Rng::new(0x000A_110C_8A05);
+    for _ in 0..3 {
+        let seed = seed_rng.next_u64();
+        for stall_percent in [5u32, 20, 50] {
+            assert_equivalent(
+                &compiled,
+                &program,
+                Some(ChaosConfig {
+                    seed,
+                    stall_percent,
+                }),
+                &format!("scatter faulty seed {seed:#x} {stall_percent}%"),
+            );
+        }
+    }
+}
+
+#[test]
 fn dynamic_network_workload_matches_reference() {
     // Data-dependent addressing exercises the dynamic network and the remote
     // memory handlers — the components the tracked stepper gates hardest.
