@@ -6,9 +6,10 @@
 #
 # Modes:
 #   ci.sh         default gate (fmt, clippy, build, test, bench smoke)
-#   ci.sh bench   full benchmark run: both suites at full sample counts,
-#                 writing BENCH_simulator.json / BENCH_paper_tables.json to
-#                 the repo root ($BENCH_DIR overrides).
+#   ci.sh bench   full benchmark run: all suites at full sample counts,
+#                 writing BENCH_simulator.json / BENCH_paper_tables.json /
+#                 BENCH_sim_scale.json to the repo root ($BENCH_DIR
+#                 overrides).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,7 +18,8 @@ run_benches() {
   # clean snapshot comparable with bench_diff.
   local dir="${BENCH_DIR:-$PWD}"
   mkdir -p "$dir"
-  rm -f "$dir"/BENCH_simulator.json "$dir"/BENCH_paper_tables.json
+  rm -f "$dir"/BENCH_simulator.json "$dir"/BENCH_paper_tables.json \
+    "$dir"/BENCH_sim_scale.json
   BENCH_DIR="$dir" cargo bench --offline -p raw-bench
 }
 
@@ -154,6 +156,18 @@ if [[ -z "$t1_hashes" || "$t1_hashes" != "$t8_hashes" ]]; then
   exit 1
 fi
 rm -rf "$scenario_dir"
+
+echo "==> sim smoke (8x8 event-core differential, clean + chaos, both thread counts)"
+# The sim subcommand's --selfcheck runs every sparse workload (plus a
+# compiled jacobi) under all three steppers — tracked, reference, and the
+# calendar-queue event core — clean and under a chaos sweep, and fails on
+# any divergence in cycles, stats, or memory. The jacobi leg compiles
+# through rawcc, so repeating under both worker counts also guards the
+# event core against block-fan-out scheduling drift.
+RAWCC_THREADS=1 cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  sim --tiles 64 --selfcheck --quick >/dev/null
+RAWCC_THREADS=8 cargo run --offline --release -p raw-bench --bin raw-bench -- \
+  sim --tiles 64 --selfcheck --quick >/dev/null
 
 echo "==> differential: tracing with provenance stays bit-identical"
 # The trace subcommand's --selfcheck (run above) already asserts traced ==

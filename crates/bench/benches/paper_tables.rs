@@ -59,6 +59,18 @@ fn table3(h: &mut Harness) {
             });
         }
     }
+    // Past the paper's 32-tile ceiling: one compiled benchmark on an 8x8
+    // mesh, the smallest size of the event-core regime (the sparse-workload
+    // sweep in benches/sim_scale.rs carries the 16x16 and 32x32 points).
+    let bench = raw_benchmarks::jacobi(12, 1);
+    let n = 64u32;
+    let program = bench.program(n).unwrap();
+    let config = MachineVariant::Base.config(n);
+    let m = measure(&program, &config, &options);
+    eprintln!("table3: {} @{n} = {} cycles", bench.name, m.cycles);
+    h.bench(&format!("table3/{}/{n}", bench.name), || {
+        measure(&program, &config, &options)
+    });
 }
 
 fn fig8(h: &mut Harness) {

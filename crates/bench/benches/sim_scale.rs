@@ -1,0 +1,43 @@
+//! Scaling micro-benchmark for the stepping cores: the sparse workload suite
+//! (`raw_bench::sim`) across mesh sizes from 4x4 to 32x32, tracked stepper vs
+//! the calendar-queue event stepper. The per-target medians in
+//! `BENCH_sim_scale.json` make the event core's cost-proportional-to-events
+//! claim a tracked regression quantity: for a fixed workload the tracked
+//! stepper's time grows with the tile count while the event stepper's stays
+//! near-flat, so the `tracked`/`event` ratio at each size is the speedup
+//! reported in EXPERIMENTS.md.
+
+use raw_bench::sim::sparse_suite;
+use raw_machine::{Machine, MachineConfig};
+use raw_testkit::bench::Harness;
+
+fn main() {
+    let mut h = Harness::new("sim_scale");
+    for &tiles in &[16u32, 64, 256, 1024] {
+        let mut config = MachineConfig::square(tiles);
+        // The sparse workloads touch only the first few words of each tile
+        // memory. The default 64K words/tile would make each iteration memset
+        // 256 MB of tile memory at 1024 tiles, drowning the stepping cost
+        // this benchmark exists to measure.
+        config.mem_words = 1 << 10;
+        for w in sparse_suite(&config, true) {
+            for (stepper, label) in [(0u8, "tracked"), (2, "event")] {
+                let name = format!("sim_scale/{}/{}t/{}", w.name, tiles, label);
+                h.bench(&name, || {
+                    let mut m = Machine::new(config.clone(), &w.program);
+                    if stepper == 2 {
+                        m = m.with_event_stepper();
+                    }
+                    for &(tile, addr, value) in &w.init {
+                        m.set_mem_word(tile, addr, value);
+                    }
+                    let report = m.run().unwrap();
+                    let (tile, addr, expected) = w.check;
+                    assert_eq!(m.mem_word(tile, addr), expected, "{name}");
+                    report.cycles
+                });
+            }
+        }
+    }
+    h.finish();
+}

@@ -10,6 +10,7 @@
 //! `--table` instead sweeps threads ∈ {1, 4, 8} cold plus an 8-thread warm
 //! re-compile and prints the speedup table recorded in `EXPERIMENTS.md`.
 
+use crate::args::{require_power_of_two, FlagParser};
 use raw_benchmarks::Benchmark;
 use raw_testkit::hash64;
 use rawcc::{compile_with_cache, BlockCache, CompiledProgram, CompilerOptions, PlacementAlgorithm};
@@ -53,59 +54,23 @@ impl CompileArgs {
             table: false,
             selfcheck: false,
         };
-        let mut i = 0;
-        while i < args.len() {
-            let need = |i: usize| -> Result<&String, String> {
-                args.get(i + 1)
-                    .ok_or_else(|| format!("{} requires a value", args[i]))
-            };
-            match args[i].as_str() {
-                "--tiles" => {
-                    out.tiles = need(i)?
-                        .parse()
-                        .map_err(|_| "--tiles must be an integer".to_string())?;
-                    i += 2;
-                }
-                "--threads" => {
-                    out.threads = need(i)?
-                        .parse()
-                        .map_err(|_| "--threads must be an integer".to_string())?;
-                    i += 2;
-                }
-                "--bench" => {
-                    out.bench = Some(need(i)?.clone());
-                    i += 2;
-                }
-                "--anneal" => {
-                    out.anneal = Some(
-                        need(i)?
-                            .parse()
-                            .map_err(|_| "--anneal must be an integer seed".to_string())?,
-                    );
-                    i += 2;
-                }
-                "--cache-dir" => {
-                    out.cache_dir = Some(need(i)?.clone());
-                    i += 2;
-                }
-                "--quick" => {
-                    out.quick = true;
-                    i += 1;
-                }
-                "--table" => {
-                    out.table = true;
-                    i += 1;
-                }
-                "--selfcheck" => {
-                    out.selfcheck = true;
-                    i += 1;
-                }
-                other => return Err(format!("unknown flag '{other}'")),
+        // Context left empty: `compile` predates subcommand contexts and its
+        // callers match on the short "unknown flag" wording.
+        let mut p = FlagParser::new("", args);
+        while let Some(flag) = p.next_flag() {
+            match flag {
+                "--tiles" => out.tiles = p.value_parsed("an integer")?,
+                "--threads" => out.threads = p.value_parsed("an integer")?,
+                "--bench" => out.bench = Some(p.value()?.clone()),
+                "--anneal" => out.anneal = Some(p.value_parsed("an integer seed")?),
+                "--cache-dir" => out.cache_dir = Some(p.value()?.clone()),
+                "--quick" => out.quick = true,
+                "--table" => out.table = true,
+                "--selfcheck" => out.selfcheck = true,
+                _ => return Err(p.unknown()),
             }
         }
-        if !out.tiles.is_power_of_two() {
-            return Err(format!("machine size {} is not a power of two", out.tiles));
-        }
+        require_power_of_two(out.tiles)?;
         Ok(out)
     }
 

@@ -16,9 +16,11 @@
 //! Every measured run is checked bit-exactly against the reference
 //! interpreter before its cycle count is reported.
 
+pub mod args;
 pub mod compiletime;
 pub mod observe;
 pub mod scenario;
+pub mod sim;
 
 use raw_benchmarks::Benchmark;
 use raw_ir::interp::Interpreter;

@@ -11,6 +11,8 @@
 //! raw-bench compile --tiles 16 --threads 8 --cache-dir /tmp/rbc
 //! raw-bench compile --tiles 16 --table
 //! raw-bench scenario --quick
+//! raw-bench sim --tiles 1024 --bench spin
+//! raw-bench sim --tiles 64 --selfcheck --quick
 //! ```
 
 use raw_bench::{ablation_text, figure4_text, figure8_text, table1_text, table2_text, table3_text};
@@ -27,6 +29,7 @@ USAGE:
     raw-bench compile [--tiles N] [--threads T] [--bench NAME] [--anneal SEED]
                       [--cache-dir PATH] [--quick] [--table] [--selfcheck]
     raw-bench scenario [--bench NAME] [--quick]
+    raw-bench sim [--tiles N] [--bench NAME] [--selfcheck] [--quick]
 
 SUBCOMMANDS:
     trace           run one benchmark with cycle-accurate tracing and print the
@@ -53,6 +56,12 @@ SUBCOMMANDS:
                     untraced, chaos sweep) plus a co-residency isolation
                     check; prints per-scenario stats lines, occupancy tables,
                     and the EXPERIMENTS.md summary table
+    sim             exercise the event-driven stepper on big meshes (default
+                    8x8, up to 32x32+) over sparse hand-written workloads;
+                    prints tracked-vs-event wall-clock speedup lines, or with
+                    --selfcheck differentially validates all three steppers
+                    (tracked, reference, event) clean and under a chaos
+                    sweep, including a compiled jacobi at sizes <= 64 tiles
 
 FLAGS:
     --table1        operation latencies (Table 1)
@@ -104,6 +113,25 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("raw-bench scenario: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("sim") {
+        let parsed = match raw_bench::sim::SimArgs::parse(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("raw-bench sim: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match raw_bench::sim::sim_command(&parsed) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("raw-bench sim: {e}");
                 ExitCode::FAILURE
             }
         };

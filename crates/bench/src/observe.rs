@@ -5,6 +5,7 @@
 //! hotspot listing and placement audit log (`annotate`) — optionally
 //! exporting a provenance-annotated Chrome-trace JSON file.
 
+use crate::args::{require_power_of_two, FlagParser};
 use raw_machine::trace::StallReason;
 use raw_machine::MachineConfig;
 use raw_trace::annotate::{placement_audit, SourceAnnotation};
@@ -41,41 +42,18 @@ impl TraceArgs {
             selfcheck: false,
             quick: false,
         };
-        let mut i = 0;
-        while i < args.len() {
-            let need = |i: usize| -> Result<&String, String> {
-                args.get(i + 1)
-                    .ok_or_else(|| format!("{} requires a value", args[i]))
-            };
-            match args[i].as_str() {
-                "--bench" => {
-                    out.bench = need(i)?.clone();
-                    i += 2;
-                }
-                "--tiles" => {
-                    out.tiles = need(i)?
-                        .parse()
-                        .map_err(|_| "--tiles must be an integer".to_string())?;
-                    i += 2;
-                }
-                "--chrome" => {
-                    out.chrome_out = Some(need(i)?.clone());
-                    i += 2;
-                }
-                "--selfcheck" => {
-                    out.selfcheck = true;
-                    i += 1;
-                }
-                "--quick" => {
-                    out.quick = true;
-                    i += 1;
-                }
-                other => return Err(format!("unknown trace flag '{other}'")),
+        let mut p = FlagParser::new("trace", args);
+        while let Some(flag) = p.next_flag() {
+            match flag {
+                "--bench" => out.bench = p.value()?.clone(),
+                "--tiles" => out.tiles = p.value_parsed("an integer")?,
+                "--chrome" => out.chrome_out = Some(p.value()?.clone()),
+                "--selfcheck" => out.selfcheck = true,
+                "--quick" => out.quick = true,
+                _ => return Err(p.unknown()),
             }
         }
-        if !out.tiles.is_power_of_two() {
-            return Err(format!("machine size {} is not a power of two", out.tiles));
-        }
+        require_power_of_two(out.tiles)?;
         Ok(out)
     }
 }
@@ -245,48 +223,25 @@ impl AnnotateArgs {
             chrome_out: None,
             quick: false,
         };
-        let mut i = 0;
-        while i < args.len() {
-            let need = |i: usize| -> Result<&String, String> {
-                args.get(i + 1)
-                    .ok_or_else(|| format!("{} requires a value", args[i]))
-            };
-            match args[i].as_str() {
-                "--bench" => {
-                    out.bench = need(i)?.clone();
-                    i += 2;
-                }
-                "--tiles" => {
-                    out.tiles = need(i)?
-                        .parse()
-                        .map_err(|_| "--tiles must be an integer".to_string())?;
-                    i += 2;
-                }
-                "--top" => {
-                    out.top = need(i)?
-                        .parse()
-                        .map_err(|_| "--top must be an integer".to_string())?;
-                    i += 2;
-                }
-                "--chrome" => {
-                    out.chrome_out = Some(need(i)?.clone());
-                    i += 2;
-                }
+        let mut p = FlagParser::new("annotate", args);
+        while let Some(flag) = p.next_flag() {
+            match flag {
+                "--bench" => out.bench = p.value()?.clone(),
+                "--tiles" => out.tiles = p.value_parsed("an integer")?,
+                "--top" => out.top = p.value_parsed("an integer")?,
+                "--chrome" => out.chrome_out = Some(p.value()?.clone()),
                 "--quick" => {
                     out.quick = true;
                     // The quick preset targets a small machine unless --tiles
                     // was given explicitly.
-                    if !args.iter().any(|a| a == "--tiles") {
+                    if !p.mentions("--tiles") {
                         out.tiles = 4;
                     }
-                    i += 1;
                 }
-                other => return Err(format!("unknown annotate flag '{other}'")),
+                _ => return Err(p.unknown()),
             }
         }
-        if !out.tiles.is_power_of_two() {
-            return Err(format!("machine size {} is not a power of two", out.tiles));
-        }
+        require_power_of_two(out.tiles)?;
         Ok(out)
     }
 }

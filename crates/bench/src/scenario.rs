@@ -17,6 +17,7 @@
 //! Per-scenario output is one greppable stats line plus a steady-state
 //! occupancy table; the closing table is the one recorded in EXPERIMENTS.md.
 
+use crate::args::FlagParser;
 use raw_ir::interp::Interpreter;
 use raw_ir::Program;
 use raw_machine::chaos::ChaosConfig;
@@ -44,22 +45,12 @@ impl ScenarioArgs {
             quick: false,
             bench: None,
         };
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--quick" => {
-                    out.quick = true;
-                    i += 1;
-                }
-                "--bench" => {
-                    out.bench = Some(
-                        args.get(i + 1)
-                            .ok_or_else(|| "--bench requires a value".to_string())?
-                            .clone(),
-                    );
-                    i += 2;
-                }
-                other => return Err(format!("unknown scenario flag '{other}'")),
+        let mut p = FlagParser::new("scenario", args);
+        while let Some(flag) = p.next_flag() {
+            match flag {
+                "--quick" => out.quick = true,
+                "--bench" => out.bench = Some(p.value()?.clone()),
+                _ => return Err(p.unknown()),
             }
         }
         Ok(out)

@@ -1,0 +1,132 @@
+//! Calendar queue (bucketed timing wheel) for the event-driven stepper.
+//!
+//! Events are `(cycle, component)` pairs hashed into a power-of-two bucket
+//! array by `cycle & mask`. Insertion and per-cycle extraction are O(1)
+//! amortised: the stepper visits exactly one bucket per cycle and removes the
+//! entries whose cycle matches, leaving far-future events (cycle ≡ current
+//! mod n_buckets) in place for a later lap of the wheel.
+//!
+//! The queue deliberately tolerates *stale* events — entries for a component
+//! that changed state after the insertion. The stepper filters those on pop by
+//! re-checking the component's mode (wake-idempotence, DESIGN.md §13), so the
+//! queue never needs random-access deletion.
+
+/// Component address packed into an event payload.
+///
+/// Bit 0 distinguishes the unit (0 = processor, 1 = switch); the remaining
+/// bits are the tile index. Packing keeps bucket entries at 12 bytes and
+/// avoids branching on an enum in the drain loop.
+pub(crate) const UNIT_PROC: u32 = 0;
+pub(crate) const UNIT_SWITCH: u32 = 1;
+
+#[inline]
+pub(crate) fn pack(unit: u32, tile: usize) -> u32 {
+    ((tile as u32) << 1) | unit
+}
+
+/// Bucketed timing wheel keyed on cycle.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    buckets: Vec<Vec<(u64, u32)>>,
+    mask: u64,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// Builds a wheel with at least `min_buckets` buckets (rounded up to a
+    /// power of two). Sized past the common wake horizons (scoreboard
+    /// latencies, remote-memory round trips) so a bucket visit rarely skips
+    /// over a far-future entry.
+    pub(crate) fn new(min_buckets: usize) -> Self {
+        let n = min_buckets.next_power_of_two().max(2);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: (n - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events (including stale ones).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Schedules `comp` (a [`pack`]ed component) to be visited at `cycle`.
+    #[inline]
+    pub(crate) fn push(&mut self, cycle: u64, comp: u32) {
+        self.buckets[(cycle & self.mask) as usize].push((cycle, comp));
+        self.len += 1;
+    }
+
+    /// Removes every event scheduled for exactly `cycle` and feeds it to `f`.
+    ///
+    /// Entries in the visited bucket with a different cycle (a later lap of
+    /// the wheel) are retained. Extraction order within a cycle is
+    /// unspecified; the stepper re-sorts into component order.
+    #[inline]
+    pub(crate) fn take_due<F: FnMut(u32)>(&mut self, cycle: u64, mut f: F) {
+        let bucket = &mut self.buckets[(cycle & self.mask) as usize];
+        let mut i = 0;
+        while i < bucket.len() {
+            if bucket[i].0 == cycle {
+                let (_, comp) = bucket.swap_remove(i);
+                self.len -= 1;
+                f(comp);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_events_pop_exactly_once() {
+        let mut q = CalendarQueue::new(4);
+        q.push(3, pack(UNIT_PROC, 7));
+        q.push(3, pack(UNIT_SWITCH, 2));
+        q.push(7, pack(UNIT_PROC, 1)); // same bucket as 3 with 4 buckets
+        let mut got = Vec::new();
+        q.take_due(3, |c| got.push(c));
+        got.sort_unstable();
+        assert_eq!(got, vec![pack(UNIT_SWITCH, 2), pack(UNIT_PROC, 7)]);
+        assert_eq!(q.len(), 1);
+        let mut later = Vec::new();
+        q.take_due(7, |c| later.push(c));
+        assert_eq!(later, vec![pack(UNIT_PROC, 1)]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn empty_cycles_are_cheap_and_correct() {
+        let mut q = CalendarQueue::new(8);
+        q.push(100, pack(UNIT_PROC, 0));
+        for c in 0..100 {
+            q.take_due(c, |_| panic!("nothing due at {c}"));
+        }
+        let mut got = Vec::new();
+        q.take_due(100, |c| got.push(c));
+        assert_eq!(got, vec![pack(UNIT_PROC, 0)]);
+    }
+
+    #[test]
+    fn wheel_wraps_far_future_events() {
+        let mut q = CalendarQueue::new(2);
+        for cyc in [1u64, 3, 5, 9, 17] {
+            q.push(cyc, pack(UNIT_PROC, cyc as usize));
+        }
+        let mut seen = Vec::new();
+        for c in 0..32 {
+            q.take_due(c, |comp| seen.push((c, comp >> 1)));
+        }
+        assert_eq!(
+            seen,
+            vec![(1, 1), (3, 3), (5, 5), (9, 9), (17, 17)],
+            "each event pops at its own cycle despite bucket collisions"
+        );
+    }
+}

@@ -6,6 +6,14 @@
 //! cycle to promote staged words. This makes the simulation independent of the
 //! order in which components are stepped within a cycle, and gives the paper's
 //! published timing (one cycle per hop).
+//!
+//! Every channel is single-writer and stages at most one word per cycle, so
+//! the tracked and event steppers commit only a *dirty list* of channels that
+//! staged this cycle instead of scanning all of them, and each commit is a
+//! wake event for the channel's reader (a word arrived) and writer (staging
+//! space freed). Code that stages a write outside the shared
+//! `run_proc`/`run_switch` paths must also push the channel onto the dirty
+//! list, or the word is silently never committed under those steppers.
 
 use crate::isa::Word;
 use std::collections::VecDeque;

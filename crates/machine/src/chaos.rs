@@ -6,6 +6,14 @@
 //! randomly stall processors and switches — modelling cache misses, interrupts,
 //! and other dynamic events — and the test suite asserts that final memory is
 //! bit-identical to an unperturbed run.
+//!
+//! The stream position is part of the observable behaviour: every stepper
+//! must draw exactly one [`Chaos::stall`] value per processor and per switch
+//! per cycle, in reference scan order, even for components it skips —
+//! otherwise the same seed perturbs different cycles on different steppers
+//! and the differential oracle loses its meaning. This contract lower-bounds
+//! any chaos-enabled stepper at Ω(tiles·cycles), which is why the event
+//! stepper delegates to the tracked scan whenever chaos is attached.
 
 /// Configuration of random stall injection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -72,10 +72,20 @@ pub struct DynMsg {
 
 impl DynMsg {
     /// Encodes into header + payload flits.
+    ///
+    /// Header layout (most- to least-significant): 2-bit kind, 11-bit source
+    /// tile, 11-bit destination tile, 8-bit payload length — sized for the
+    /// event-driven core's large-mesh regime (up to 2048 tiles; the original
+    /// 8-bit tile fields silently truncated indices past a 16×16 mesh).
     pub fn to_flits(&self) -> Vec<Word> {
-        let header = (self.kind.encode() << 24)
-            | ((self.src & 0xff) << 16)
-            | ((self.dest & 0xff) << 8)
+        debug_assert!(
+            self.src < (1 << 11) && self.dest < (1 << 11),
+            "tile index does not fit the 11-bit header field"
+        );
+        debug_assert!(self.payload.len() < (1 << 8), "payload too long");
+        let header = (self.kind.encode() << 30)
+            | ((self.src & 0x7ff) << 19)
+            | ((self.dest & 0x7ff) << 8)
             | (self.payload.len() as u32 & 0xff);
         let mut flits = Vec::with_capacity(1 + self.payload.len());
         flits.push(header);
@@ -86,9 +96,9 @@ impl DynMsg {
     /// Decodes a header flit into `(kind, src, dest, payload_len)`.
     pub fn decode_header(header: Word) -> (MsgKind, u32, u32, usize) {
         (
-            MsgKind::decode(header >> 24),
-            (header >> 16) & 0xff,
-            (header >> 8) & 0xff,
+            MsgKind::decode(header >> 30),
+            (header >> 19) & 0x7ff,
+            (header >> 8) & 0x7ff,
             (header & 0xff) as usize,
         )
     }
@@ -137,6 +147,12 @@ impl DynEndpoint {
     pub fn is_idle(&self) -> bool {
         self.inject.is_empty() && self.proc_inbox.is_empty() && self.handler_inbox.is_empty()
     }
+
+    /// True while flits await injection into the local router (the router
+    /// must stay on the hot worklist until it drains them).
+    pub fn inject_backlog(&self) -> bool {
+        !self.inject.is_empty()
+    }
 }
 
 const NUM_PORTS: usize = 5; // N, E, S, W, Local
@@ -156,6 +172,12 @@ struct RouterState {
 }
 
 /// The whole-machine dynamic network: one wormhole router per tile.
+///
+/// Two stepping entry points share the same per-router logic:
+/// [`step`](Self::step) scans every router (the reference stepper's path) and
+/// [`step_hot`](Self::step_hot) visits only the hot worklist — routers that
+/// hold flits or were [`poke`](Self::poke)d because their endpoint gained
+/// injection backlog. The differential suites compare the two bit-for-bit.
 #[derive(Debug)]
 pub struct DynNet {
     #[allow(dead_code)]
@@ -163,18 +185,56 @@ pub struct DynNet {
     cols: u32,
     fifo_cap: usize,
     routers: Vec<RouterState>,
+    /// Membership flags for `work` (dedup guard).
+    hot: Vec<bool>,
+    /// Routers to visit on the next `step_hot` (unsorted; sorted on drain).
+    work: Vec<usize>,
+    /// Tiles whose endpoint received a complete message during the last step
+    /// (the machine puts their handlers/processors under watch).
+    delivered: Vec<usize>,
+    /// Per-(tile, input-port) count of flits staged this cycle; persistent to
+    /// avoid an O(tiles) allocation per step, reset entry-wise after use.
+    staged_count: Vec<[usize; NUM_PORTS]>,
+    /// Total flits buffered in router FIFOs and reassembly buffers: an O(1)
+    /// [`is_idle`](Self::is_idle) for the per-cycle quiescence check.
+    buffered: usize,
 }
 
 impl DynNet {
     /// Creates the network for a `rows × cols` mesh with per-link FIFO depth
     /// `fifo_cap`.
     pub fn new(rows: u32, cols: u32, fifo_cap: usize) -> Self {
+        let n = (rows * cols) as usize;
         DynNet {
             rows,
             cols,
             fifo_cap,
-            routers: (0..rows * cols).map(|_| RouterState::default()).collect(),
+            routers: (0..n).map(|_| RouterState::default()).collect(),
+            hot: vec![false; n],
+            work: Vec::new(),
+            delivered: Vec::new(),
+            staged_count: vec![[0; NUM_PORTS]; n],
+            buffered: 0,
         }
+    }
+
+    /// Puts router `t` on the hot worklist for the next [`step_hot`](Self::step_hot).
+    ///
+    /// The machine pokes a router whenever tile `t`'s endpoint may have
+    /// gained injection backlog (a processor issued a dynamic access, a
+    /// handler injected a reply); all other hotness — buffered flits,
+    /// incoming staged transfers — is maintained internally.
+    pub fn poke(&mut self, t: usize) {
+        if !self.hot[t] {
+            self.hot[t] = true;
+            self.work.push(t);
+        }
+    }
+
+    /// Tiles that completed message reassembly during the last step (either
+    /// inbox); cleared at the start of every step.
+    pub fn delivered(&self) -> &[usize] {
+        &self.delivered
     }
 
     fn coords(&self, t: usize) -> (u32, u32) {
@@ -211,27 +271,65 @@ impl DynNet {
         (nr * self.cols + nc) as usize
     }
 
-    /// True if no flit is buffered anywhere in the network.
+    /// True if no flit is buffered anywhere in the network (O(1): the flit
+    /// count is maintained by feed and eject).
     pub fn is_idle(&self) -> bool {
-        self.routers
-            .iter()
-            .all(|r| r.in_q.iter().all(|q| q.is_empty()) && r.reasm.is_empty())
+        debug_assert_eq!(
+            self.buffered == 0,
+            self.routers
+                .iter()
+                .all(|r| r.in_q.iter().all(|q| q.is_empty()) && r.reasm.is_empty()),
+            "buffered-flit counter out of sync"
+        );
+        self.buffered == 0
     }
 
-    /// Advances the network one cycle. Returns `true` if any flit moved.
+    /// Advances the network one cycle by scanning every router (the
+    /// reference stepper's path). Returns `true` if any flit moved.
     ///
     /// `endpoints[t]` supplies tile `t`'s injection queue and receives its
     /// ejected messages.
     pub fn step(&mut self, endpoints: &mut [DynEndpoint]) -> bool {
-        let n = self.routers.len();
+        // The full scan visits everything, so pending hot marks are moot;
+        // step_tiles regenerates them from the post-step state.
+        for i in 0..self.work.len() {
+            self.hot[self.work[i]] = false;
+        }
+        self.work.clear();
+        let all: Vec<usize> = (0..self.routers.len()).collect();
+        self.step_tiles(&all, endpoints)
+    }
+
+    /// Advances the network one cycle visiting only the hot worklist:
+    /// routers holding flits plus routers [`poke`](Self::poke)d since the
+    /// last step. Observationally identical to [`step`](Self::step) — a
+    /// router that is neither fed nor holds flits cannot move anything — at
+    /// cost proportional to live traffic rather than mesh size.
+    pub fn step_hot(&mut self, endpoints: &mut [DynEndpoint]) -> bool {
+        let mut work = std::mem::take(&mut self.work);
+        // Ascending tile order: FIFO-capacity arbitration between routers
+        // must resolve exactly as the reference scan's 0..n loop does.
+        work.sort_unstable();
+        for &t in &work {
+            self.hot[t] = false;
+        }
+        self.step_tiles(&work, endpoints)
+    }
+
+    /// One cycle over `tiles` (ascending, deduplicated). Shared between the
+    /// full scan and the hot-worklist paths.
+    fn step_tiles(&mut self, tiles: &[usize], endpoints: &mut [DynEndpoint]) -> bool {
         let mut progress = false;
+        self.delivered.clear();
 
         // 1. Feed one flit per tile from the endpoint inject queue into the
         //    router's local input port.
-        for (router, ep) in self.routers.iter_mut().zip(endpoints.iter_mut()) {
+        for &t in tiles {
+            let router = &mut self.routers[t];
             if router.in_q[LOCAL].len() < self.fifo_cap {
-                if let Some(f) = ep.inject.pop_front() {
+                if let Some(f) = endpoints[t].inject.pop_front() {
                     router.in_q[LOCAL].push_back(f);
+                    self.buffered += 1;
                     progress = true;
                 }
             }
@@ -241,9 +339,8 @@ impl DynNet {
         //    transfers are staged and applied after all routers have decided,
         //    making the step order-independent.
         let mut staged: Vec<(usize, usize, Word)> = Vec::new(); // (tile, port, flit)
-        let mut staged_count = vec![[0usize; NUM_PORTS]; n];
 
-        for t in 0..n {
+        for &t in tiles {
             for out in 0..NUM_PORTS {
                 // Which input currently owns this output?
                 let owner = match self.routers[t].out_lock[out] {
@@ -285,7 +382,8 @@ impl DynNet {
                 } else {
                     let nb = self.neighbor(t, out);
                     let nb_port = opposite(out);
-                    self.routers[nb].in_q[nb_port].len() + staged_count[nb][nb_port] < self.fifo_cap
+                    self.routers[nb].in_q[nb_port].len() + self.staged_count[nb][nb_port]
+                        < self.fifo_cap
                 };
                 if !can {
                     continue;
@@ -304,14 +402,26 @@ impl DynNet {
                 } else {
                     let nb = self.neighbor(t, out);
                     let nb_port = opposite(out);
-                    staged_count[nb][nb_port] += 1;
+                    self.staged_count[nb][nb_port] += 1;
                     staged.push((nb, nb_port, flit));
                 }
             }
         }
 
+        for &(t, port, _) in &staged {
+            self.staged_count[t][port] = 0;
+        }
         for (t, port, flit) in staged {
             self.routers[t].in_q[port].push_back(flit);
+            // The receiving router has a flit to move next cycle.
+            self.poke(t);
+        }
+        // 3. Re-mark visited routers that still hold flits or whose endpoint
+        //    kept injection backlog (e.g. a full local FIFO this cycle).
+        for &t in tiles {
+            if self.routers[t].in_q.iter().any(|q| !q.is_empty()) || endpoints[t].inject_backlog() {
+                self.poke(t);
+            }
         }
         progress
     }
@@ -340,6 +450,7 @@ impl DynNet {
                 dest,
                 payload: r.reasm[1..].to_vec(),
             };
+            let flits = r.reasm.len();
             r.reasm.clear();
             r.reasm_need = 0;
             debug_assert_eq!(dest as usize, t, "message ejected at wrong tile");
@@ -348,6 +459,10 @@ impl DynNet {
             } else {
                 endpoints[t].proc_inbox.push_back(msg);
             }
+            // The message left the network: drop its flits from the buffered
+            // count and report the delivery so the machine can watch tile t.
+            self.buffered -= flits;
+            self.delivered.push(t);
         }
     }
 }

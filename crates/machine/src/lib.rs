@@ -71,6 +71,7 @@
 //! ```
 
 pub mod asm;
+pub(crate) mod calendar;
 pub mod channel;
 pub mod chaos;
 pub mod config;

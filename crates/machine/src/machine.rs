@@ -33,7 +33,28 @@
 //! still counts as progress). [`Machine::with_reference_stepper`] selects the
 //! original step-everything path; the differential test suite asserts both
 //! produce bit-identical cycle counts, statistics, and memory.
+//!
+//! # Event-driven stepping
+//!
+//! The tracked stepper still *iterates* every component each cycle, if only to
+//! check its mode — O(tiles) per cycle even when one tile is awake. For large
+//! meshes [`Machine::with_event_stepper`] selects the event-driven core: a
+//! calendar queue (`crates/machine/src/calendar.rs`) holds one wake event per
+//! runnable component, and a cycle's work is popping exactly the components
+//! scheduled for it. Sleep transitions stop inserting next-cycle events
+//! (`SleepReg` inserts its timer at `wake_at` instead), and `wake()` becomes an
+//! event insertion. Per-component processing is the *same code* the tracked
+//! stepper runs (`run_proc`/`run_switch`), replayed in
+//! the same component order, so cycle counts, statistics, emitted trace
+//! events, and deadlock detection are bit-identical — see DESIGN.md §13 for
+//! the queue invariants and tests/differential_stepper.rs for the three-way
+//! oracle. Chaos stall injection draws one RNG value per component per cycle
+//! by contract (the stream is part of the observable behaviour), which
+//! lower-bounds any stepper at Ω(tiles·cycles); with chaos enabled the event
+//! stepper therefore delegates to the tracked scan, which preserves the stream
+//! exactly.
 
+use crate::calendar::{pack, CalendarQueue, UNIT_PROC, UNIT_SWITCH};
 use crate::channel::Channel;
 use crate::chaos::{Chaos, ChaosConfig};
 use crate::config::MachineConfig;
@@ -43,6 +64,8 @@ use crate::processor::{ProcOutcome, Processor, StallCause};
 use crate::stats::Stats;
 use crate::switch::{Switch, SwitchOutcome};
 use crate::trace::{ChannelInfo, ChannelRole, EventSink, NullSink, StallReason, Unit};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -145,6 +168,19 @@ enum Comp {
     SwitchAt(usize),
 }
 
+/// Which stepping core [`Machine::step`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stepper {
+    /// Original step-everything path (semantic reference).
+    Reference,
+    /// Activity-tracked scan: sleeping components are skipped, but every
+    /// component's mode is still inspected each cycle.
+    Tracked,
+    /// Calendar-queue event core: per-cycle work is proportional to the
+    /// number of scheduled wake events, not the mesh size.
+    Event,
+}
+
 /// A simulated Raw machine loaded with a program.
 ///
 /// The `S` parameter is the [`EventSink`] observing the run; the default
@@ -169,8 +205,8 @@ pub struct Machine<S: EventSink = NullSink> {
     cycle: u64,
     stats: Stats,
     chaos: Option<Chaos>,
-    /// Use the original step-everything path (differential testing).
-    reference: bool,
+    /// Which stepping core `step` dispatches to.
+    stepper: Stepper,
     proc_mode: Vec<ProcMode>,
     proc_debt: Vec<SleepDebt>,
     switch_mode: Vec<SwitchMode>,
@@ -187,8 +223,48 @@ pub struct Machine<S: EventSink = NullSink> {
     route_vals: Vec<(SSrc, Word)>,
     /// True while any flit, dynamic message, or handler request may exist.
     dyn_active: bool,
+    /// Tiles whose handler or endpoint may be non-idle (tracked/event
+    /// steppers): the dynamic phase steps exactly these handlers instead of
+    /// scanning all `n`. Invariant: every tile with a non-idle handler or
+    /// endpoint is on this list (membership flags in `dyn_watched`).
+    dyn_watch: Vec<usize>,
+    /// Membership flags for `dyn_watch`.
+    dyn_watched: Vec<bool>,
+    /// Reusable scratch for the delivered-tile list (borrow split).
+    dyn_scratch: Vec<usize>,
     /// Cause of the most recent switch stall (sleep-span attribution scratch).
     last_switch_stall: StallCause,
+    /// Calendar queue of wake events (event stepper only).
+    queue: CalendarQueue,
+    /// True once the event stepper seeded its initial events and owns wake
+    /// routing; `wake()` inserts events only while this is set.
+    queue_live: bool,
+    /// Earliest queued event per processor (`u64::MAX` = none): suppresses
+    /// duplicate insertions without requiring random-access deletion.
+    proc_next_ev: Vec<u64>,
+    /// Earliest queued event per switch (`u64::MAX` = none).
+    switch_next_ev: Vec<u64>,
+    /// Processors due this cycle (event stepper scratch; sorted before use).
+    proc_agenda: Vec<usize>,
+    /// Switches due this cycle, popped in ascending index order. A min-heap
+    /// because same-cycle wakes targeting a *higher-indexed* switch land here
+    /// mid-drain (matching the tracked scan, which reaches them later in its
+    /// loop).
+    switch_agenda: BinaryHeap<Reverse<usize>>,
+    /// Cycle stamp of each switch's last processed step (same-cycle dedup).
+    switch_seen: Vec<u64>,
+    /// Lowest switch index still pending in the current cycle's phase: a wake
+    /// for switch `t >= sw_floor` runs this cycle, lower indices (already
+    /// passed) next cycle. `0` during the processor phase, `t + 1` while
+    /// processing switch `t`, `usize::MAX` in the dyn/commit phases.
+    sw_floor: usize,
+    /// Processors currently in `SleepReg` (timed waits count as progress; the
+    /// event stepper checks the count instead of scanning modes).
+    sleep_reg_count: usize,
+    /// Processors not yet `Dead` (O(1) completion check for tracked/event).
+    live_procs: usize,
+    /// Switches not yet `Dead`.
+    live_switches: usize,
     /// The event sink observing this machine.
     sink: S,
 }
@@ -277,7 +353,7 @@ impl<S: EventSink> Machine<S> {
             handlers,
             cycle: 0,
             chaos: None,
-            reference: false,
+            stepper: Stepper::Tracked,
             proc_mode: vec![ProcMode::Active; n],
             proc_debt: vec![SleepDebt::NONE; n],
             switch_mode: vec![SwitchMode::Active; n],
@@ -288,7 +364,21 @@ impl<S: EventSink> Machine<S> {
             consumed: Vec::new(),
             route_vals: Vec::new(),
             dyn_active: false,
+            dyn_watch: Vec::new(),
+            dyn_watched: vec![false; n],
+            dyn_scratch: Vec::new(),
             last_switch_stall: StallCause::PortInEmpty,
+            queue: CalendarQueue::new(128),
+            queue_live: false,
+            proc_next_ev: vec![u64::MAX; n],
+            switch_next_ev: vec![u64::MAX; n],
+            proc_agenda: Vec::new(),
+            switch_agenda: BinaryHeap::new(),
+            switch_seen: vec![u64::MAX; n],
+            sw_floor: usize::MAX,
+            sleep_reg_count: 0,
+            live_procs: n,
+            live_switches: n,
             sink,
             config,
         }
@@ -345,7 +435,22 @@ impl<S: EventSink> Machine<S> {
     /// workload through both steppers and asserts identical cycle counts,
     /// statistics, and final memory.
     pub fn with_reference_stepper(mut self) -> Self {
-        self.reference = true;
+        self.stepper = Stepper::Reference;
+        self
+    }
+
+    /// Selects the calendar-queue event-driven stepper.
+    ///
+    /// Per-cycle cost is proportional to the number of scheduled wake events
+    /// instead of the mesh size, which is the asymptotic win on large, sparse
+    /// meshes. Observable behaviour — cycle counts, statistics, final memory,
+    /// emitted trace events, deadlock detection — is bit-identical to the
+    /// tracked and reference steppers (enforced by the differential suite).
+    /// With [chaos](Self::with_chaos) enabled the chaos RNG stream (one draw
+    /// per component per cycle) forces Ω(tiles·cycles) work, so this mode
+    /// delegates to the tracked scan, trivially preserving the stream.
+    pub fn with_event_stepper(mut self) -> Self {
+        self.stepper = Stepper::Event;
         self
     }
 
@@ -412,12 +517,29 @@ impl<S: EventSink> Machine<S> {
             && self.handlers.iter().all(|h| h.is_idle())
     }
 
+    /// O(1) equivalent of [`finished`](Self::finished) for the mode-tracking
+    /// steppers: a component goes `Dead` exactly when it observes itself
+    /// halted, and `dyn_active` is false exactly while all dynamic-network
+    /// state is drained. The reference stepper maintains neither, so it keeps
+    /// the full scan.
+    fn quiesced(&self) -> bool {
+        if self.stepper == Stepper::Reference {
+            return self.finished();
+        }
+        let done = self.live_procs == 0 && self.live_switches == 0 && !self.dyn_active;
+        debug_assert_eq!(done, self.finished());
+        done
+    }
+
     /// Advances the machine one cycle. Returns `true` if anything progressed.
     pub fn step(&mut self) -> bool {
-        if self.reference {
-            self.step_reference()
-        } else {
-            self.step_tracked()
+        match self.stepper {
+            Stepper::Reference => self.step_reference(),
+            Stepper::Tracked => self.step_tracked(),
+            // The chaos stream contract (one draw per component per cycle)
+            // makes event-driven skipping impossible; fall back to the scan.
+            Stepper::Event if self.chaos.is_some() => self.step_tracked(),
+            Stepper::Event => self.step_event(),
         }
     }
 
@@ -557,6 +679,7 @@ impl<S: EventSink> Machine<S> {
 
         // Processors. The chaos draw happens for every tile in reference order
         // even when the tile is skipped, so the RNG stream is identical.
+        self.sw_floor = 0;
         for t in 0..n {
             let chaos_stall = match &mut self.chaos {
                 Some(c) => c.stall(),
@@ -578,6 +701,7 @@ impl<S: EventSink> Machine<S> {
                     }
                     // Timer matured: step this cycle.
                     self.proc_mode[t] = ProcMode::Active;
+                    self.sleep_reg_count -= 1;
                 }
                 ProcMode::SleepPort => {
                     if chaos_stall {
@@ -603,99 +727,7 @@ impl<S: EventSink> Machine<S> {
                     }
                 }
             }
-            self.settle_proc_debt(t);
-            let pc_before = if S::ENABLED { self.procs[t].pc() } else { 0 };
-            let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
-            let pin_before = self.channels[pin_id].len();
-            let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
-            let outcome = self.procs[t].step(
-                &self.code[t].proc,
-                self.cycle,
-                &self.config,
-                &mut self.mems[t],
-                pin,
-                pout,
-                &mut self.endpoints[t],
-            );
-            // A consumed word frees space the tile's switch may be waiting on.
-            if self.channels[pin_id].len() < pin_before {
-                self.wake(Comp::SwitchAt(t));
-            }
-            if self.channels[pout_id].has_staged() {
-                self.dirty.push(pout_id);
-            }
-            if !self.endpoints[t].is_idle() {
-                run_dyn = true;
-            }
-            match outcome {
-                ProcOutcome::Progress => {
-                    self.stats.tiles[t].proc_insts += 1;
-                    progress = true;
-                    if S::ENABLED {
-                        self.sink.issue(
-                            self.cycle,
-                            t as u32,
-                            pc_before,
-                            self.procs[t].last_issue_latency(),
-                        );
-                    }
-                    if self.procs[t].halted() {
-                        self.proc_mode[t] = ProcMode::Dead;
-                        // The reference observes the halt one cycle later (the
-                        // next step returns `Halted`); mirror that timing.
-                        if S::ENABLED {
-                            self.sink.idle(self.cycle + 1, t as u32, Unit::Proc);
-                        }
-                    }
-                }
-                ProcOutcome::Stalled(cause) => {
-                    self.stats.tiles[t].record_stall(cause);
-                    if S::ENABLED {
-                        self.sink
-                            .stall(self.cycle, t as u32, Unit::Proc, cause.into(), pc_before);
-                    }
-                    if cause == StallCause::RegNotReady
-                        || self.procs[t].has_maturing_send(self.cycle)
-                    {
-                        progress = true;
-                    }
-                    // A stall with no pending sends has no side effects to
-                    // perform: the processor may sleep if its wake condition
-                    // is observable (scoreboard timer or port commit).
-                    if self.procs[t].out_pending_empty() {
-                        match cause {
-                            StallCause::RegNotReady => {
-                                if let Some(wake_at) = self.procs[t].wake_hint() {
-                                    self.proc_mode[t] = ProcMode::SleepReg { wake_at };
-                                    self.proc_debt[t] = SleepDebt {
-                                        since: self.cycle + 1,
-                                        chaos_skips: 0,
-                                        cause,
-                                    };
-                                }
-                            }
-                            StallCause::PortInEmpty => {
-                                self.proc_mode[t] = ProcMode::SleepPort;
-                                self.proc_debt[t] = SleepDebt {
-                                    since: self.cycle + 1,
-                                    chaos_skips: 0,
-                                    cause,
-                                };
-                            }
-                            // PortOutFull implies pending sends (not reached
-                            // here); Dynamic waits are serviced by the handler
-                            // phase and stay active — they are rare and cheap.
-                            _ => {}
-                        }
-                    }
-                }
-                ProcOutcome::Halted => {
-                    self.proc_mode[t] = ProcMode::Dead;
-                    if S::ENABLED {
-                        self.sink.idle(self.cycle, t as u32, Unit::Proc);
-                    }
-                }
-            }
+            progress |= self.run_proc(t, &mut run_dyn);
         }
 
         // Switches.
@@ -730,62 +762,237 @@ impl<S: EventSink> Machine<S> {
                     }
                 }
             }
-            self.settle_switch_debt(t);
-            let outcome = self.step_switch(t);
-            // Words consumed by the route free space upstream writers may be
-            // waiting on.
-            for i in 0..self.consumed.len() {
-                let id = self.consumed[i];
-                self.wake(self.chan_writer[id]);
-            }
-            match outcome {
-                SwitchOutcome::Progress => progress = true,
-                SwitchOutcome::Stalled => {
-                    self.switch_mode[t] = SwitchMode::Sleeping;
-                    self.switch_debt[t] = SleepDebt {
-                        since: self.cycle + 1,
-                        chaos_skips: 0,
-                        cause: self.last_switch_stall,
-                    };
+            self.sw_floor = t + 1;
+            progress |= self.run_switch(t);
+        }
+        self.sw_floor = usize::MAX;
+
+        progress |= self.run_dyn_phase(run_dyn);
+        progress |= self.commit_dirty();
+
+        self.cycle += 1;
+        progress
+    }
+
+    /// Steps one processor that the mode dispatch decided runs this cycle,
+    /// applying mode transitions, stall accounting, and wake routing. Shared
+    /// verbatim between the tracked and event steppers so their observable
+    /// behaviour cannot drift. Returns the component's progress contribution.
+    fn run_proc(&mut self, t: usize, run_dyn: &mut bool) -> bool {
+        let mut progress = false;
+        self.settle_proc_debt(t);
+        let pc_before = if S::ENABLED { self.procs[t].pc() } else { 0 };
+        let (pin_id, pout_id) = (self.sp[t], self.ps[t]);
+        let pin_before = self.channels[pin_id].len();
+        let (pin, pout) = get_two_mut(&mut self.channels, pin_id, pout_id);
+        let outcome = self.procs[t].step(
+            &self.code[t].proc,
+            self.cycle,
+            &self.config,
+            &mut self.mems[t],
+            pin,
+            pout,
+            &mut self.endpoints[t],
+        );
+        // A consumed word frees space the tile's switch may be waiting on.
+        if self.channels[pin_id].len() < pin_before {
+            self.wake(Comp::SwitchAt(t));
+        }
+        if self.channels[pout_id].has_staged() {
+            self.dirty.push(pout_id);
+        }
+        if !self.endpoints[t].is_idle() {
+            *run_dyn = true;
+            // The processor touched its endpoint (injected a request or left
+            // inbox words pending): watch the tile and let the router pull
+            // from the injection queue.
+            self.dyn_mark(t);
+            self.dynnet.poke(t);
+        }
+        match outcome {
+            ProcOutcome::Progress => {
+                self.stats.tiles[t].proc_insts += 1;
+                progress = true;
+                if S::ENABLED {
+                    self.sink.issue(
+                        self.cycle,
+                        t as u32,
+                        pc_before,
+                        self.procs[t].last_issue_latency(),
+                    );
                 }
-                SwitchOutcome::Halted => {
-                    self.switch_mode[t] = SwitchMode::Dead;
+                if self.procs[t].halted() {
+                    self.proc_mode[t] = ProcMode::Dead;
+                    self.live_procs -= 1;
+                    // The reference observes the halt one cycle later (the
+                    // next step returns `Halted`); mirror that timing.
                     if S::ENABLED {
-                        self.sink.idle(self.cycle, t as u32, Unit::Switch);
+                        self.sink.idle(self.cycle + 1, t as u32, Unit::Proc);
                     }
                 }
             }
-        }
-
-        // Dynamic network and handlers, skipped entirely while quiescent.
-        if run_dyn {
-            if self.dynnet.step(&mut self.endpoints) {
-                self.stats.dyn_active_cycles += 1;
-                progress = true;
+            ProcOutcome::Stalled(cause) => {
+                self.stats.tiles[t].record_stall(cause);
                 if S::ENABLED {
-                    self.sink.dyn_active(self.cycle);
+                    self.sink
+                        .stall(self.cycle, t as u32, Unit::Proc, cause.into(), pc_before);
                 }
-            }
-            for t in 0..n {
-                if self.handlers[t].step(
-                    t as u32,
-                    self.cycle,
-                    self.config.mem_latency,
-                    &mut self.mems[t],
-                    &mut self.endpoints[t],
-                ) || !self.handlers[t].is_idle()
-                {
+                if cause == StallCause::RegNotReady || self.procs[t].has_maturing_send(self.cycle) {
                     progress = true;
                 }
+                // A stall with no pending sends has no side effects to
+                // perform: the processor may sleep if its wake condition
+                // is observable (scoreboard timer or port commit).
+                if self.procs[t].out_pending_empty() {
+                    match cause {
+                        StallCause::RegNotReady => {
+                            if let Some(wake_at) = self.procs[t].wake_hint() {
+                                self.proc_mode[t] = ProcMode::SleepReg { wake_at };
+                                self.sleep_reg_count += 1;
+                                self.proc_debt[t] = SleepDebt {
+                                    since: self.cycle + 1,
+                                    chaos_skips: 0,
+                                    cause,
+                                };
+                            }
+                        }
+                        StallCause::PortInEmpty => {
+                            self.proc_mode[t] = ProcMode::SleepPort;
+                            self.proc_debt[t] = SleepDebt {
+                                since: self.cycle + 1,
+                                chaos_skips: 0,
+                                cause,
+                            };
+                        }
+                        // PortOutFull implies pending sends (not reached
+                        // here); Dynamic waits are serviced by the handler
+                        // phase and stay active — they are rare and cheap.
+                        _ => {}
+                    }
+                }
             }
-            self.dyn_active = !self.dynnet.is_idle()
-                || self.endpoints.iter().any(|e| !e.is_idle())
-                || self.handlers.iter().any(|h| !h.is_idle());
+            ProcOutcome::Halted => {
+                self.proc_mode[t] = ProcMode::Dead;
+                self.live_procs -= 1;
+                if S::ENABLED {
+                    self.sink.idle(self.cycle, t as u32, Unit::Proc);
+                }
+            }
         }
+        progress
+    }
 
-        // Commit exactly the channels that staged a write this cycle; each
-        // commit wakes both endpoints (reader gains a word, writer regains
-        // staging space).
+    /// Steps one switch that the mode dispatch decided runs this cycle (shared
+    /// between the tracked and event steppers; see [`Self::run_proc`]).
+    fn run_switch(&mut self, t: usize) -> bool {
+        let mut progress = false;
+        self.settle_switch_debt(t);
+        let outcome = self.step_switch(t);
+        // Words consumed by the route free space upstream writers may be
+        // waiting on.
+        for i in 0..self.consumed.len() {
+            let id = self.consumed[i];
+            self.wake(self.chan_writer[id]);
+        }
+        match outcome {
+            SwitchOutcome::Progress => progress = true,
+            SwitchOutcome::Stalled => {
+                self.switch_mode[t] = SwitchMode::Sleeping;
+                self.switch_debt[t] = SleepDebt {
+                    since: self.cycle + 1,
+                    chaos_skips: 0,
+                    cause: self.last_switch_stall,
+                };
+            }
+            SwitchOutcome::Halted => {
+                self.switch_mode[t] = SwitchMode::Dead;
+                self.live_switches -= 1;
+                if S::ENABLED {
+                    self.sink.idle(self.cycle, t as u32, Unit::Switch);
+                }
+            }
+        }
+        progress
+    }
+
+    /// Adds tile `t` to the dynamic watch list (idempotent).
+    fn dyn_mark(&mut self, t: usize) {
+        if !self.dyn_watched[t] {
+            self.dyn_watched[t] = true;
+            self.dyn_watch.push(t);
+        }
+    }
+
+    /// Dynamic network and handlers, skipped entirely while quiescent (shared
+    /// between the tracked and event steppers). Cost is proportional to live
+    /// dynamic traffic: the router step visits only its hot worklist, and the
+    /// handler loop steps only watched tiles. A handler whose tile is not
+    /// watched has an idle handler and an idle endpoint, for which
+    /// [`Handler::step`] is a no-op returning `false` — so the skip is
+    /// observationally identical to the reference's full scan.
+    fn run_dyn_phase(&mut self, run_dyn: bool) -> bool {
+        if !run_dyn {
+            return false;
+        }
+        let mut progress = false;
+        if self.dynnet.step_hot(&mut self.endpoints) {
+            self.stats.dyn_active_cycles += 1;
+            progress = true;
+            if S::ENABLED {
+                self.sink.dyn_active(self.cycle);
+            }
+        }
+        // Tiles that completed a message this cycle gained inbox work.
+        self.dyn_scratch.clear();
+        self.dyn_scratch.extend_from_slice(self.dynnet.delivered());
+        for i in 0..self.dyn_scratch.len() {
+            let t = self.dyn_scratch[i];
+            self.dyn_mark(t);
+        }
+        // Step watched handlers, dropping tiles that went fully idle. Handler
+        // steps are per-tile independent, so the (unsorted) watch order does
+        // not affect behaviour or statistics.
+        let mut i = 0;
+        while i < self.dyn_watch.len() {
+            let t = self.dyn_watch[i];
+            let stepped = self.handlers[t].step(
+                t as u32,
+                self.cycle,
+                self.config.mem_latency,
+                &mut self.mems[t],
+                &mut self.endpoints[t],
+            );
+            if stepped || !self.handlers[t].is_idle() {
+                // An in-flight handler request is a timed wait, not deadlock.
+                progress = true;
+            }
+            if stepped {
+                // The handler may have injected a reply for the router to pull.
+                self.dynnet.poke(t);
+            }
+            if !self.handlers[t].is_idle() || !self.endpoints[t].is_idle() {
+                i += 1;
+            } else {
+                self.dyn_watched[t] = false;
+                self.dyn_watch.swap_remove(i);
+            }
+        }
+        self.dyn_active = !self.dynnet.is_idle() || !self.dyn_watch.is_empty();
+        debug_assert_eq!(
+            self.dyn_active,
+            !self.dynnet.is_idle()
+                || self.endpoints.iter().any(|e| !e.is_idle())
+                || self.handlers.iter().any(|h| !h.is_idle()),
+            "dyn_watch lost a non-idle tile"
+        );
+        progress
+    }
+
+    /// Commits exactly the channels that staged a write this cycle; each
+    /// commit wakes both endpoints (reader gains a word, writer regains
+    /// staging space). Shared between the tracked and event steppers.
+    fn commit_dirty(&mut self) -> bool {
+        let mut progress = false;
         for i in 0..self.dirty.len() {
             let id = self.dirty[i];
             let committed = self.channels[id].commit();
@@ -800,28 +1007,173 @@ impl<S: EventSink> Machine<S> {
             self.wake(self.chan_writer[id]);
         }
         self.dirty.clear();
+        progress
+    }
+
+    /// The calendar-queue event-driven stepper (chaos-free path; see the
+    /// module docs and DESIGN.md §13).
+    ///
+    /// Instead of scanning every component, the cycle's agenda is popped from
+    /// the queue: processors first (ascending tile index), then switches
+    /// (ascending index via a min-heap, because a switch consuming a word can
+    /// wake a higher-indexed switch into the *same* cycle — exactly the
+    /// components the tracked scan would still reach). Stale events are
+    /// filtered by re-checking the component's mode, so wakes never need to
+    /// delete queued timers.
+    fn step_event(&mut self) -> bool {
+        let n = self.config.n_tiles() as usize;
+        let mut progress = false;
+        let mut run_dyn = self.dyn_active;
+
+        if !self.queue_live {
+            // First event-driven cycle: every component starts Active.
+            self.queue_live = true;
+            self.proc_agenda.extend(0..n);
+            self.switch_agenda.extend((0..n).map(Reverse));
+        } else {
+            let cycle = self.cycle;
+            let Machine {
+                queue,
+                proc_agenda,
+                switch_agenda,
+                proc_next_ev,
+                switch_next_ev,
+                ..
+            } = self;
+            queue.take_due(cycle, |comp| {
+                let t = (comp >> 1) as usize;
+                if comp & 1 == UNIT_PROC {
+                    proc_next_ev[t] = u64::MAX;
+                    proc_agenda.push(t);
+                } else {
+                    switch_next_ev[t] = u64::MAX;
+                    switch_agenda.push(Reverse(t));
+                }
+            });
+        }
+
+        // Processors, in tile order. No wake targets a processor in the same
+        // cycle (processor-phase wakes go to switches), so a sorted drain is
+        // complete. Duplicate agenda entries are removed by the dedup; events
+        // for components that can't run (stale timers, sleeping modes) fall
+        // through the mode check.
+        self.sw_floor = 0;
+        self.proc_agenda.sort_unstable();
+        self.proc_agenda.dedup();
+        let mut i = 0;
+        while i < self.proc_agenda.len() {
+            let t = self.proc_agenda[i];
+            i += 1;
+            match self.proc_mode[t] {
+                ProcMode::Dead | ProcMode::SleepPort => continue,
+                ProcMode::SleepReg { wake_at } => {
+                    if self.cycle < wake_at {
+                        // Stale early event; the `wake_at` timer is queued.
+                        continue;
+                    }
+                    self.proc_mode[t] = ProcMode::Active;
+                    self.sleep_reg_count -= 1;
+                }
+                ProcMode::Active => {}
+            }
+            progress |= self.run_proc(t, &mut run_dyn);
+            match self.proc_mode[t] {
+                ProcMode::Active => self.schedule_proc(self.cycle + 1, t),
+                ProcMode::SleepReg { wake_at } => self.schedule_proc(wake_at, t),
+                ProcMode::SleepPort | ProcMode::Dead => {}
+            }
+        }
+        self.proc_agenda.clear();
+        // The tracked scan counts every still-sleeping scoreboard timer as
+        // progress (a timed wait resolves by itself); sampled here, after
+        // matured timers flipped Active and before switch-phase wakes can.
+        progress |= self.sleep_reg_count > 0;
+
+        // Switches, ascending index; same-cycle wakes insert into the heap.
+        while let Some(Reverse(t)) = self.switch_agenda.pop() {
+            if self.switch_seen[t] == self.cycle {
+                continue; // duplicate (e.g. timer plus same-cycle wake)
+            }
+            match self.switch_mode[t] {
+                // Don't stamp `switch_seen` on a stale skip: a later wake this
+                // same cycle must still be able to run the switch.
+                SwitchMode::Dead | SwitchMode::Sleeping => continue,
+                SwitchMode::Active => {}
+            }
+            self.switch_seen[t] = self.cycle;
+            self.sw_floor = t + 1;
+            progress |= self.run_switch(t);
+            if self.switch_mode[t] == SwitchMode::Active {
+                self.schedule_switch(self.cycle + 1, t);
+            }
+        }
+        self.sw_floor = usize::MAX;
+
+        progress |= self.run_dyn_phase(run_dyn);
+        progress |= self.commit_dirty();
 
         self.cycle += 1;
         progress
+    }
+
+    /// Queues a processor wake event. Insertions already covered by an
+    /// earlier-or-equal queued event are suppressed; conversely a pop resets
+    /// the guard, so a needed insertion is never lost (duplicates are cheap,
+    /// missing events are not).
+    fn schedule_proc(&mut self, at: u64, t: usize) {
+        debug_assert!(at > self.cycle || !self.queue_live);
+        if at < self.proc_next_ev[t] {
+            self.queue.push(at, pack(UNIT_PROC, t));
+            self.proc_next_ev[t] = at;
+        }
+    }
+
+    /// Queues a switch wake event; a same-cycle wake (switch not yet reached
+    /// by this cycle's drain) goes straight into the live agenda heap.
+    fn schedule_switch(&mut self, at: u64, t: usize) {
+        if at <= self.cycle {
+            debug_assert!(at == self.cycle);
+            self.switch_agenda.push(Reverse(t));
+        } else if at < self.switch_next_ev[t] {
+            self.queue.push(at, pack(UNIT_SWITCH, t));
+            self.switch_next_ev[t] = at;
+        }
     }
 
     /// Makes a sleeping component eligible to step again. Its stall debt stays
     /// pending and is settled right before the next actual step, so a spurious
     /// wake is harmless: the component re-stalls, re-records the same stall the
     /// reference would, and goes back to sleep.
+    ///
+    /// Under the event stepper (`queue_live`), a wake that flips a sleeping
+    /// component also inserts its wake event: a woken processor steps next
+    /// cycle (processors run before the phases that wake them), a woken switch
+    /// steps this cycle iff the switch phase hasn't passed it yet
+    /// (`t >= sw_floor`) — exactly when the tracked scan would reach it.
     fn wake(&mut self, c: Comp) {
         match c {
             Comp::ProcAt(t) => {
-                if matches!(
-                    self.proc_mode[t],
-                    ProcMode::SleepReg { .. } | ProcMode::SleepPort
-                ) {
-                    self.proc_mode[t] = ProcMode::Active;
+                match self.proc_mode[t] {
+                    ProcMode::SleepReg { .. } => self.sleep_reg_count -= 1,
+                    ProcMode::SleepPort => {}
+                    ProcMode::Active | ProcMode::Dead => return,
+                }
+                self.proc_mode[t] = ProcMode::Active;
+                if self.queue_live {
+                    self.schedule_proc(self.cycle + 1, t);
                 }
             }
             Comp::SwitchAt(t) => {
                 if self.switch_mode[t] == SwitchMode::Sleeping {
                     self.switch_mode[t] = SwitchMode::Active;
+                    if self.queue_live {
+                        let at = if t >= self.sw_floor {
+                            self.cycle
+                        } else {
+                            self.cycle + 1
+                        };
+                        self.schedule_switch(at, t);
+                    }
                 }
             }
         }
@@ -1046,7 +1398,7 @@ impl<S: EventSink> Machine<S> {
         // random stalls we require a long streak before declaring one.
         let deadlock_streak = if self.chaos.is_some() { 100_000 } else { 2 };
         let mut no_progress = 0u64;
-        while !self.finished() {
+        while !self.quiesced() {
             if self.cycle >= self.config.step_limit {
                 self.flush_sleep_stats();
                 return Err(SimError::StepLimitExceeded {
@@ -1390,15 +1742,92 @@ mod tests {
     fn reference_stepper_matches_tracked() {
         // The dedicated differential suite covers compiled workloads; this is
         // the in-crate smoke check on a hand-written program.
-        let run = |reference: bool| {
+        let run = |stepper: u8| {
             let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program());
-            if reference {
-                m = m.with_reference_stepper();
-            }
+            m = match stepper {
+                0 => m,
+                1 => m.with_reference_stepper(),
+                _ => m.with_event_stepper(),
+            };
             let report = m.run().expect("completes");
             (report.cycles, report.stats, m.mem_word(TileId(1), 0))
         };
+        assert_eq!(run(0), run(1));
+        assert_eq!(run(0), run(2));
+    }
+
+    #[test]
+    fn event_stepper_reproduces_timed_wait_accounting() {
+        // Mirror of `all_timed_waits_is_not_deadlock` under the event core:
+        // the SleepReg timer becomes a queued event, and the stall debt must
+        // settle to exactly the same statistics.
+        let mut a = ProcAsm::new();
+        a.bin(
+            BinOp::Mul,
+            Dst::Reg(1),
+            Src::Imm(Imm::I(6)),
+            Src::Imm(Imm::I(7)),
+        );
+        a.addi(Dst::Reg(2), Src::Reg(1), 0);
+        a.store_imm_addr(Src::Reg(2), 0);
+        a.halt();
+        let program = MachineProgram {
+            tiles: vec![TileCode {
+                proc: a.finish(),
+                switch: vec![SInst::Halt],
+            }],
+        };
+        let mut m = Machine::new(MachineConfig::grid(1, 1), &program).with_event_stepper();
+        let report = m.run().expect("timed waits must not be deadlock");
+        assert_eq!(m.mem_word(TileId(0), 0), 42);
+        assert_eq!(report.cycles, 15);
+        assert_eq!(report.stats.tiles[0].stall_reg, 11);
+    }
+
+    #[test]
+    fn event_stepper_detects_deadlock_at_same_cycle() {
+        let mut p0 = ProcAsm::new();
+        p0.recv(Dst::Reg(1));
+        p0.halt();
+        let program = MachineProgram {
+            tiles: vec![TileCode {
+                proc: p0.finish(),
+                switch: vec![SInst::Halt],
+            }],
+        };
+        let run = |event: bool| {
+            let mut m = Machine::new(MachineConfig::grid(1, 1), &program);
+            if event {
+                m = m.with_event_stepper();
+            }
+            match m.run() {
+                Err(SimError::Deadlock { cycle, detail }) => (cycle, detail),
+                other => panic!("expected deadlock, got {other:?}"),
+            }
+        };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn event_stepper_with_chaos_matches_tracked() {
+        // With chaos the event core must preserve the RNG stream (it takes
+        // the tracked path); results and statistics stay bit-identical.
+        for seed in [3u64, 11, 19] {
+            let chaos = ChaosConfig {
+                seed,
+                stall_percent: 40,
+            };
+            let run = |event: bool| {
+                let mut m = Machine::new(MachineConfig::grid(1, 2), &neighbor_message_program())
+                    .with_chaos(chaos);
+                if event {
+                    m = m.with_event_stepper();
+                }
+                let report = m.run().expect("completes");
+                (report.cycles, report.stats, m.mem_word(TileId(1), 0))
+            };
+            assert_eq!(run(false), run(true), "seed {seed}");
+        }
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl Processor {
     /// If the last step stalled at issue on a not-yet-ready register, the cycle
     /// at which that register becomes ready — i.e. the earliest cycle the
     /// processor can possibly issue. Used by the activity-tracked stepper to
-    /// put the processor into a timed sleep.
+    /// put the processor into a timed sleep, and by the event stepper as the
+    /// calendar timer for the sleeping tile. Contract: the hint must never be
+    /// *later* than the actual ready cycle (a late timer would change the
+    /// issue cycle and break stepper bit-identity); an early hint is harmless
+    /// — the woken processor re-stalls, re-hints, and sleeps again.
     pub fn wake_hint(&self) -> Option<u64> {
         self.wake_hint
     }

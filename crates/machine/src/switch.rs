@@ -9,6 +9,13 @@
 //! The actual movement of words between channels is performed by the machine
 //! stepper (which owns the channels); this module holds the switch's
 //! architectural state and control flow.
+//!
+//! Because a stalled `ROUTE` mutates nothing, a stalled switch is safe to
+//! skip: the tracked and event steppers put it to sleep and wake it when an
+//! adjacent channel commits a word (a source may now be ready) *or* has a
+//! word consumed (a destination may now have space). Both events are visible
+//! to the machine at the channel layer, so the switch itself carries no wake
+//! state — [`SwitchOutcome`] is the entire stepping contract.
 
 use crate::isa::{SInst, Word};
 

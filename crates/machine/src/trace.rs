@@ -19,6 +19,14 @@
 //! `raw-trace` crate; this module only defines the wire between the simulator
 //! and any consumer. See `DESIGN.md` ("Event-sink invariants") for the exact
 //! per-cycle firing and ordering guarantees.
+//!
+//! The firing contract is stepper-independent: the reference, tracked, and
+//! event stepping cores emit the *same events in the same order* (sleep-span
+//! events are settled retroactively on wake, which is why consumers clip at
+//! their window boundaries), so a sink can never tell which core produced its
+//! stream. Emission sites therefore live only in code shared between the
+//! tracked and event paths, or in the reference scan with explicitly matched
+//! timing.
 
 use crate::isa::{Dir, SDst, SSrc};
 use crate::processor::StallCause;

@@ -1,17 +1,22 @@
-//! Differential validation of the activity-tracked stepper.
+//! Differential validation of the activity-tracked and event-driven steppers.
 //!
 //! The tracked stepper skips sleeping components and commits only dirty
-//! channels; it claims to be *observationally identical* to the original
-//! step-everything path (kept as `Machine::with_reference_stepper`). This
-//! suite runs every `raw-benchmarks` workload — and a chaos sweep over stall
-//! rates, seeds, and mesh shapes — through both steppers and asserts
-//! bit-identical cycle counts, statistics, and final memory.
+//! channels; the event-driven stepper goes further and visits only components
+//! with a scheduled wake event (calendar queue, DESIGN.md §13). Both claim to
+//! be *observationally identical* to the original step-everything path (kept
+//! as `Machine::with_reference_stepper`). This suite runs every
+//! `raw-benchmarks` workload — and a chaos sweep over stall rates, seeds, and
+//! mesh shapes — through all three steppers and asserts bit-identical cycle
+//! counts, statistics, and final memory, plus a truncation property: when
+//! `run()` ends early (step limit) while components are still asleep, the
+//! lazily-deferred stall debt must settle to exactly the reference statistics.
 
 use raw_repro::cc::{compile, CompiledProgram, CompilerOptions};
 use raw_repro::ir::Program;
 use raw_repro::machine::chaos::ChaosConfig;
 use raw_repro::machine::isa::TileId;
 use raw_repro::machine::{Machine, MachineConfig, RunReport};
+use std::sync::OnceLock;
 
 /// Runs `machine` to completion and snapshots everything observable.
 fn observe(mut machine: Machine, label: &str) -> (RunReport, Vec<Vec<u32>>) {
@@ -21,7 +26,7 @@ fn observe(mut machine: Machine, label: &str) -> (RunReport, Vec<Vec<u32>>) {
     (report, mems)
 }
 
-/// Asserts both steppers agree on cycles, stats, and memory.
+/// Asserts all three steppers agree on cycles, stats, and memory.
 fn assert_equivalent(
     compiled: &CompiledProgram,
     program: &Program,
@@ -36,11 +41,19 @@ fn assert_equivalent(
     };
     let tracked = with_chaos(compiled.instantiate(program));
     let reference = with_chaos(compiled.instantiate(program).with_reference_stepper());
+    let event = with_chaos(compiled.instantiate(program).with_event_stepper());
     let (t_report, t_mems) = observe(tracked, label);
     let (r_report, r_mems) = observe(reference, label);
+    let (e_report, e_mems) = observe(event, label);
     assert_eq!(t_report.cycles, r_report.cycles, "{label}: cycle count");
     assert_eq!(t_report.stats, r_report.stats, "{label}: stats");
     assert_eq!(t_mems, r_mems, "{label}: final memory");
+    assert_eq!(
+        e_report.cycles, t_report.cycles,
+        "{label}: event cycle count"
+    );
+    assert_eq!(e_report.stats, t_report.stats, "{label}: event stats");
+    assert_eq!(e_mems, t_mems, "{label}: event final memory");
 }
 
 #[test]
@@ -59,7 +72,8 @@ fn chaos_sweep_matches_reference() {
     // Same sweep shape as the Appendix-A static-ordering test: stall rates
     // {1, 5, 20, 50}% × seeds × two mesh shapes. Chaos draws one RNG value per
     // component per cycle in the reference; the tracked stepper must consume
-    // the stream in exactly the same order even while components sleep.
+    // the stream in exactly the same order even while components sleep (and
+    // the event stepper must preserve it through its tracked fallback).
     let bench = raw_repro::benchmarks::jacobi(8, 1);
     let program = bench.program(4).unwrap();
     let mut seed_rng = raw_testkit::Rng::new(0x000A_110C_8A05);
@@ -153,5 +167,106 @@ fn dynamic_network_workload_matches_reference() {
             }),
             &format!("hist seed {seed}"),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall-debt settlement at early termination
+// ---------------------------------------------------------------------------
+
+/// Precompiled workloads plus each one's clean full-run cycle count, shared
+/// across property cases (compilation dominates otherwise).
+fn truncation_fixtures() -> &'static Vec<(String, CompiledProgram, Program, u64)> {
+    static FIXTURES: OnceLock<Vec<(String, CompiledProgram, Program, u64)>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let config = MachineConfig::square(4);
+        raw_repro::benchmarks::tiny_suite()
+            .into_iter()
+            .map(|bench| {
+                let program = bench.program(4).unwrap();
+                let compiled = compile(&program, &config, &CompilerOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: compile: {e}", bench.name));
+                let report = compiled.instantiate(&program).run().unwrap();
+                (bench.name.to_string(), compiled, program, report.cycles)
+            })
+            .collect()
+    })
+}
+
+/// Runs one stepper with a truncating step limit; returns the termination
+/// kind (Ok cycles / limit / deadlock-at-cycle), post-flush stats and memory.
+fn observe_truncated(
+    fixture: &(String, CompiledProgram, Program, u64),
+    limit: u64,
+    chaos: Option<ChaosConfig>,
+    stepper: u8,
+) -> (String, raw_repro::machine::stats::Stats, Vec<Vec<u32>>) {
+    let (_, compiled, program, _) = fixture;
+    let mut capped = compiled.clone();
+    capped.config.step_limit = limit;
+    let mut m = capped.instantiate(program);
+    m = match stepper {
+        0 => m,
+        1 => m.with_reference_stepper(),
+        _ => m.with_event_stepper(),
+    };
+    if let Some(c) = chaos {
+        m = m.with_chaos(c);
+    }
+    let outcome = match m.run() {
+        Ok(report) => format!("ok@{}", report.cycles),
+        Err(e) => format!("err: {e}"),
+    };
+    let n = m.config().n_tiles();
+    let mems = (0..n).map(|t| m.memory(TileId(t)).to_vec()).collect();
+    (outcome, m.stats().clone(), mems)
+}
+
+raw_testkit::proptest! {
+    #![cases(48)]
+    #[test]
+    fn stall_debt_settles_when_run_is_truncated(
+        bench_idx in 0usize..16,
+        limit_pct in 1u64..100,
+        chaos_pick in 0u32..4,
+        chaos_seed in 1u64..1_000_000,
+    ) {
+        // Truncating run() at an arbitrary cycle frequently lands while
+        // processors sit in SleepReg/SleepPort and switches sleep with
+        // unsettled stall debt. The flush on the error path must settle that
+        // debt *exactly*: all three steppers — which sleep through entirely
+        // different cycle subsets — must report identical statistics, and the
+        // per-tile counters must conserve (no stall cycle lost or invented).
+        let fixtures = truncation_fixtures();
+        let fixture = &fixtures[bench_idx % fixtures.len()];
+        let (name, _, _, full_cycles) = fixture;
+        let limit = (full_cycles * limit_pct / 100).max(1);
+        let chaos = match chaos_pick {
+            0 => None,
+            1 => Some(ChaosConfig { seed: chaos_seed, stall_percent: 5 }),
+            2 => Some(ChaosConfig { seed: chaos_seed, stall_percent: 30 }),
+            _ => Some(ChaosConfig { seed: chaos_seed, stall_percent: 50 }),
+        };
+        let label = format!("{name} limit={limit} chaos={chaos:?}");
+        let tracked = observe_truncated(fixture, limit, chaos, 0);
+        let reference = observe_truncated(fixture, limit, chaos, 1);
+        let event = observe_truncated(fixture, limit, chaos, 2);
+        raw_testkit::prop_assert_eq!(&tracked, &reference, "{label}: tracked vs reference");
+        raw_testkit::prop_assert_eq!(&event, &tracked, "{label}: event vs tracked");
+        // Conservation: a tile's processor does exactly one thing per cycle —
+        // issue, stall, or sit halted/chaos-stalled — so issues + recorded
+        // stalls can never exceed the cycles that elapsed.
+        let (_, stats, _) = &tracked;
+        for (t, tile) in stats.tiles.iter().enumerate() {
+            let busy = tile.proc_insts
+                + tile.stall_reg
+                + tile.stall_port_in
+                + tile.stall_port_out
+                + tile.stall_dynamic;
+            raw_testkit::prop_assert!(
+                busy <= limit,
+                "{label}: tile {t} accounts {busy} cycles > limit {limit}"
+            );
+        }
     }
 }
